@@ -1,0 +1,161 @@
+package ajdloss
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface end to end
+// on Example 4.1.
+func TestPublicAPIQuickstart(t *testing.T) {
+	r := Diagonal(100)
+	s := MustSchema([]string{"A"}, []string{"B"})
+	if !IsAcyclic(s) {
+		t.Fatal("independence schema must be acyclic")
+	}
+	rep, err := Analyze(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(100)
+	if math.Abs(rep.J-want) > 1e-9 {
+		t.Fatalf("J = %v, want log 100", rep.J)
+	}
+	if rep.Loss.Spurious != 9900 {
+		t.Fatalf("spurious = %d", rep.Loss.Spurious)
+	}
+	if err := rep.Verify(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if got := RhoLowerBound(rep.J); math.Abs(got-99) > 1e-6 {
+		t.Fatalf("lower bound = %v, want 99", got)
+	}
+}
+
+func TestPublicAPIRandomModel(t *testing.T) {
+	rng := NewRand(1)
+	r, err := SampleMVD(rng, 8, 8, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := ConditionalMutualInformation(r, []string{"A"}, []string{"B"}, []string{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := MVDLoss(r, MVD{X: []string{"C"}, Y: []string{"A"}, Z: []string{"B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 4.1 specialized to an MVD: I(A;B|C) ≤ log(1+ρ).
+	if mi > loss.LogOnePlusRho()+1e-9 {
+		t.Fatalf("MVD lower bound violated: %v > %v", mi, loss.LogOnePlusRho())
+	}
+	if eps := EpsilonStar(8, 2, 40, 0.05); eps <= 0 {
+		t.Fatalf("EpsilonStar = %v", eps)
+	}
+}
+
+func TestPublicAPIDiscovery(t *testing.T) {
+	// Plant the classic employee MVD: Name ↠ Skill | Language, encoded as
+	// a small block-structured relation.
+	r := NewRelation("Name", "Skill", "Language")
+	for name := Value(1); name <= 4; name++ {
+		for skill := Value(1); skill <= 3; skill++ {
+			for lang := Value(1); lang <= 2; lang++ {
+				r.Insert(Tuple{name, skill + 10*name, lang + 20*name})
+			}
+		}
+	}
+	cands, err := FindMVDs(r, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cands {
+		if len(c.X) == 1 && c.X[0] == "Name" && c.J < 1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("planted employee MVD not found")
+	}
+	cand, err := Discover(r, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.J > 1e-9 {
+		t.Fatalf("Discover returned lossy schema, J = %v", cand.J)
+	}
+	// The discovered schema is lossless on the data.
+	schema := cand.Schema()
+	loss, err := ComputeLoss(r, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss.Spurious != 0 {
+		t.Fatalf("discovered schema loses: %d spurious", loss.Spurious)
+	}
+}
+
+func TestPublicAPIEntropy(t *testing.T) {
+	r := Diagonal(8)
+	h, err := Entropy(r, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-math.Log(8)) > 1e-9 {
+		t.Fatalf("H(A) = %v", h)
+	}
+	mi, err := MutualInformation(r, []string{"A"}, []string{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mi-math.Log(8)) > 1e-9 {
+		t.Fatalf("I(A;B) = %v", mi)
+	}
+}
+
+func TestPublicAPISchemaConstruction(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	s, err := MVDSchema([]string{"X"}, []string{"Y"}, []string{"Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildJoinTree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 2 {
+		t.Fatalf("tree = %v", tree)
+	}
+	cyclic := MustSchema([]string{"A", "B"}, []string{"B", "C"}, []string{"C", "A"})
+	if IsAcyclic(cyclic) {
+		t.Fatal("triangle reported acyclic")
+	}
+	if _, err := BuildJoinTree(cyclic); err == nil {
+		t.Fatal("triangle produced a join tree")
+	}
+}
+
+func TestPublicAPILossVsJMeasureConsistency(t *testing.T) {
+	rng := NewRand(2)
+	model := RandomModel{Attrs: []string{"A", "B", "C"}, Domains: []int{4, 4, 4}, N: 30}
+	r, err := model.Sample(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustSchema([]string{"A", "B"}, []string{"B", "C"})
+	j, err := JMeasureSchema(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := ComputeLoss(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j > loss.LogOnePlusRho()+1e-9 {
+		t.Fatalf("Lemma 4.1 violated through the facade: %v > %v", j, loss.LogOnePlusRho())
+	}
+}

@@ -1,0 +1,340 @@
+package ajdloss
+
+// Benchmark harness: one benchmark per evaluation artifact (the E* ids of
+// DESIGN.md §4), plus micro-benchmarks of the substrate operations the
+// experiments stress. Regenerate every figure/table with
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks run reduced-size configurations so a full sweep
+// stays in CI budgets; cmd/figures runs the paper-scale defaults.
+
+import (
+	"fmt"
+	"testing"
+
+	"ajdloss/internal/core"
+	"ajdloss/internal/discovery"
+	"ajdloss/internal/experiments"
+	"ajdloss/internal/fd"
+	"ajdloss/internal/infotheory"
+	"ajdloss/internal/join"
+	"ajdloss/internal/jointree"
+	"ajdloss/internal/randrel"
+	"ajdloss/internal/relation"
+	"ajdloss/internal/schemagen"
+)
+
+// --- E1/E8: Figure 1 ---
+
+func BenchmarkFigure1(b *testing.B) {
+	for _, d := range []int{100, 300, 1000} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			cfg := experiments.Figure1Config{Ds: []int{d}, Rho: 0.1, Seeds: 1, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Figure1Points(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure1Sweep(b *testing.B) {
+	cfg := experiments.Figure1Config{Ds: []int{100, 200}, Rho: 0.1, Seeds: 1, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1Sweep(cfg, []float64{0.05, 0.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: tightness ---
+
+func BenchmarkTightness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Tightness([]int{2, 16, 256, 4096}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3/E4/E5: deterministic bounds on random instances ---
+
+func benchRandomTrials(b *testing.B, run func(experiments.RandomTrialConfig) (*experiments.Table, error)) {
+	cfg := experiments.DefaultRandomTrials()
+	cfg.Trials = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLowerBound(b *testing.B)       { benchRandomTrials(b, experiments.LowerBound) }
+func BenchmarkSandwich(b *testing.B)         { benchRandomTrials(b, experiments.Sandwich) }
+func BenchmarkMVDDecomposition(b *testing.B) { benchRandomTrials(b, experiments.MVDDecomposition) }
+
+// --- E6: Theorem 5.1 coverage ---
+
+func BenchmarkUpperBoundCoverage(b *testing.B) {
+	cfg := experiments.UpperBoundConfig{DA: 32, DB: 32, DC: 2, N: 500, Delta: 0.05, Trials: 10, Seed: 3}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.UpperBoundCell(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: entropy confidence ---
+
+func BenchmarkEntropyConfidence(b *testing.B) {
+	cfgs := []experiments.EntropyConfidenceConfig{
+		{DA: 50, DB: 50, Eta: 2272, Delta: 0.05, Trials: 5, Seed: 4},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EntropyConfidence(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: discovery ---
+
+func BenchmarkDiscovery(b *testing.B) {
+	cfg := experiments.DiscoveryConfig{DC: 3, Block: 5, Noises: []int{0, 20}, Seed: 5}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Discovery(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: counting vs materializing ---
+
+func benchAblationInstance(b *testing.B) (*jointree.JoinTree, []*relation.Relation) {
+	b.Helper()
+	attrs := schemagen.AttrNames(6)
+	schema, err := schemagen.Chain(attrs, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := randrel.Model{Attrs: attrs, Domains: []int{8, 8, 8, 8, 8, 8}, N: 3000}
+	r, err := model.Sample(randrel.NewRand(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := jointree.BuildJoinTree(schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rels, err := join.Projections(r, schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree, rels
+}
+
+func BenchmarkJoinCount(b *testing.B) {
+	tree, rels := benchAblationInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := join.CountTree(tree, rels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinMaterialize(b *testing.B) {
+	tree, rels := benchAblationInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := join.MaterializeTree(tree, rels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func benchRelation(b *testing.B, n int) *relation.Relation {
+	b.Helper()
+	model := randrel.Model{Attrs: []string{"A", "B", "C"}, Domains: []int{64, 64, 8}, N: n}
+	r, err := model.Sample(randrel.NewRand(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func BenchmarkEntropy(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := benchRelation(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				infotheory.MustEntropy(r, "A", "B")
+			}
+		})
+	}
+}
+
+func BenchmarkConditionalMI(b *testing.B) {
+	r := benchRelation(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		infotheory.MustCMI(r, []string{"A"}, []string{"B"}, []string{"C"})
+	}
+}
+
+func BenchmarkJMeasure(b *testing.B) {
+	r := benchRelation(b, 10000)
+	tree := jointree.MustJoinTree(
+		[][]string{{"A", "B"}, {"B", "C"}},
+		[][2]int{{0, 1}},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.JMeasure(r, tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	r := benchRelation(b, 5000)
+	s := jointree.MustSchema([]string{"A", "B"}, []string{"B", "C"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(r, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomRelationSample(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			model := randrel.Model{Attrs: []string{"A", "B"}, Domains: []int{1000, 1000}, N: n}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.Sample(randrel.NewRand(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNaturalJoin(b *testing.B) {
+	rng := randrel.NewRand(8)
+	left, err := randrel.Model{Attrs: []string{"A", "B"}, Domains: []int{100, 100}, N: 5000}.Sample(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	right, err := randrel.Model{Attrs: []string{"B", "C"}, Domains: []int{100, 100}, N: 5000}.Sample(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		left.NaturalJoin(right)
+	}
+}
+
+func BenchmarkGYO(b *testing.B) {
+	tree, err := schemagen.RandomJoinTree(randrel.NewRand(9), 12, 24, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := tree.Schema()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jointree.BuildJoinTree(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E11/E12 and newer modules ---
+
+func BenchmarkSection5Machinery(b *testing.B) {
+	cfg := experiments.Section5Config{
+		Cases: []struct{ DA, DB, Eta int }{{32, 16, 128}},
+		Seed:  1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Section5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressionFrontier(b *testing.B) {
+	cfg := experiments.DefaultCompression()
+	cfg.Noise = []int{0}
+	cfg.Thresholds = []float64{1e-9}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Compression(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinSampler(b *testing.B) {
+	tree, rels := benchAblationInstance(b)
+	s, err := join.NewSampler(tree, rels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randrel.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng)
+	}
+}
+
+func BenchmarkJoinSamplerBuild(b *testing.B) {
+	tree, rels := benchAblationInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := join.NewSampler(tree, rels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFDDiscovery(b *testing.B) {
+	r := benchRelation(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fd.Discover(r, fd.DiscoverConfig{MaxLHS: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDissect(b *testing.B) {
+	r := benchRelation(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := discovery.Dissect(r, discovery.DissectConfig{MaxSep: 1, Threshold: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEntropyVector(b *testing.B) {
+	r := benchRelation(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := infotheory.NewEntropyVector(r, r.Attrs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v := ev.CheckPolymatroid(1e-9); len(v) != 0 {
+			b.Fatal("polymatroid violation")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "r.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalyze(t *testing.T) {
+	path := writeCSV(t, "A,B\n1,1\n2,2\n3,3\n")
+	var out strings.Builder
+	if err := run([]string{"-csv", path, "-schema", "A;B"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"spurious tuples   6", "J-measure", "lossless          false"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeCSV(t, "A,B\n1,1\n")
+	var out strings.Builder
+	cases := [][]string{
+		{},                                       // missing flags
+		{"-csv", "nope.csv", "-schema", "A;B"},   // missing file
+		{"-csv", path, "-schema", ""},            // empty schema (missing flag)
+		{"-csv", path, "-schema", "A,B;B,C;C,A"}, // unknown attr / cyclic
+	}
+	for i, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v) did not error", i, args)
+		}
+	}
+	// Cyclic schema over present attributes.
+	tri := writeCSV(t, "A,B,C\n1,1,1\n")
+	if err := run([]string{"-csv", tri, "-schema", "A,B;B,C;C,A"}, &out); err == nil {
+		t.Error("cyclic schema did not error")
+	}
+}
+
+func TestRunNoHeader(t *testing.T) {
+	path := writeCSV(t, "1,1\n2,2\n")
+	var out strings.Builder
+	if err := run([]string{"-csv", path, "-schema", "c1;c2", "-noheader"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "spurious tuples   2") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}

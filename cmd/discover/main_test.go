@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunDiscover(t *testing.T) {
+	// A planted MVD C ->> A|B block instance: both discovery strategies
+	// must find a lossless split.
+	var rows strings.Builder
+	rows.WriteString("A,B,C\n")
+	for c := 1; c <= 3; c++ {
+		for a := 1; a <= 2; a++ {
+			for b := 1; b <= 2; b++ {
+				rows.WriteString(
+					strings.Join([]string{
+						strconv.Itoa(10*c + a), strconv.Itoa(20*c + b), strconv.Itoa(c),
+					}, ",") + "\n")
+			}
+		}
+	}
+	path := filepath.Join(t.TempDir(), "r.csv")
+	if err := os.WriteFile(path, []byte(rows.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-csv", path, "-target", "1e-9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Chow-Liu", "recursive dissection", "approximate MVDs", "J=0.000000"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunDiscoverErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -csv did not error")
+	}
+	if err := run([]string{"-csv", "nope.csv"}, &out); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

@@ -1,0 +1,86 @@
+// Command figures regenerates every evaluation artifact of the paper
+// (Figure 1 and the measured theorem tables E1–E10 indexed in DESIGN.md).
+//
+// Usage:
+//
+//	figures               # run everything, print text tables
+//	figures -exp figure1  # run one experiment by name or id
+//	figures -list         # list experiments
+//	figures -csv dir      # additionally write one CSV per table into dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ajdloss/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	exp := fs.String("exp", "", "experiment id or name (default: all)")
+	list := fs.Bool("list", false, "list available experiments")
+	csvDir := fs.String("csv", "", "directory to write per-table CSV files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, s := range experiments.Registry() {
+			fmt.Fprintf(stdout, "%-5s %-14s %s\n", s.ID, s.Name, s.Description)
+		}
+		return nil
+	}
+
+	specs := experiments.Registry()
+	if *exp != "" {
+		s, err := experiments.Lookup(*exp)
+		if err != nil {
+			return err
+		}
+		specs = []experiments.Spec{s}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, s := range specs {
+		fmt.Fprintf(stdout, "running %s (%s)...\n", s.ID, s.Name)
+		table, err := s.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.ID, err)
+		}
+		if err := table.WriteText(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, s.Name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := table.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n\n", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E1", "figure1", "E12", "compression"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunOneExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-exp", "tightness", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Example 4.1") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "tightness.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "N,") {
+		t.Fatalf("csv header: %q", string(data[:10]))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,92 @@
+// Factorization as compression — the application from the paper's
+// introduction ([22], Olteanu & Závodný): storing the projections of an
+// acyclic schema instead of the universal relation saves space, and the
+// paper's bounds certify how much data integrity the saving costs.
+//
+// The example builds a wide click-log relation with latent structure,
+// assesses several candidate schemas (discovered and hand-written), and
+// prints the compression/loss frontier: cells stored vs spurious tuples,
+// with the Lemma 4.1 floor e^J − 1 certifying the minimum possible loss of
+// each schema from its J-measure alone.
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ajdloss"
+	"ajdloss/internal/jointree"
+	"ajdloss/internal/normalize"
+)
+
+func main() {
+	r := clickLog()
+	fmt.Printf("click log: %d tuples x %d attributes = %d cells\n\n",
+		r.N(), r.Arity(), r.N()*r.Arity())
+
+	// Candidate schemas: discovered by dissection at two thresholds, plus
+	// the trivial schema as baseline.
+	var schemas []*jointree.Schema
+	schemas = append(schemas, ajdloss.MustSchema(r.Attrs()))
+	for _, threshold := range []float64{1e-9, 0.02, 0.1} {
+		cand, err := ajdloss.Dissect(r, ajdloss.DissectConfig{MaxSep: 1, Threshold: threshold})
+		if err != nil {
+			log.Fatal(err)
+		}
+		schemas = append(schemas, cand.Schema())
+	}
+
+	frontier, err := normalize.Frontier(r, schemas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compression/loss frontier (Pareto-optimal candidates):")
+	fmt.Printf("%-42s %-8s %-10s %-12s %-12s\n", "schema", "cells", "compress", "rho", "e^J-1 floor")
+	for _, rep := range frontier {
+		fmt.Printf("%-42s %-8d %-10.3f %-12.6f %-12.6f\n",
+			rep.Schema, rep.StoredCells, rep.Compression, rep.Loss.Rho, rep.RhoLower)
+	}
+
+	best := frontier[0]
+	fmt.Printf("\nbest compression: %.3fx at rho = %.4f\n", best.Compression, best.Loss.Rho)
+	fmt.Println("Lemma 4.1 reads the floor off J alone — no join ever evaluated;")
+	fmt.Println("the measured rho respects it on every row.")
+}
+
+// clickLog builds Sessions(Session, User, Country, Page, Section): User
+// determines Country, Page determines Section, and sessions tie them
+// together — plus a handful of dirty rows.
+func clickLog() *ajdloss.Relation {
+	r := ajdloss.NewRelation("Session", "User", "Country", "Page", "Section")
+	rng := ajdloss.NewRand(99)
+	const users, countries, pages, sections = 25, 5, 40, 6
+	countryOf := make([]ajdloss.Value, users+1)
+	for u := 1; u <= users; u++ {
+		countryOf[u] = ajdloss.Value(rng.IntN(countries) + 1)
+	}
+	sectionOf := make([]ajdloss.Value, pages+1)
+	for p := 1; p <= pages; p++ {
+		sectionOf[p] = ajdloss.Value(rng.IntN(sections) + 1)
+	}
+	session := ajdloss.Value(0)
+	for u := 1; u <= users; u++ {
+		visits := 6 + rng.IntN(8)
+		session++
+		for k := 0; k < visits; k++ {
+			if rng.IntN(3) == 0 {
+				session++ // user starts a new session
+			}
+			page := rng.IntN(pages) + 1
+			r.Insert(ajdloss.Tuple{
+				session, ajdloss.Value(u), countryOf[u],
+				ajdloss.Value(page), sectionOf[page],
+			})
+		}
+	}
+	// Dirt: two rows with stale country.
+	r.Insert(ajdloss.Tuple{1, 1, countryOf[1]%ajdloss.Value(countries) + 1, 1, sectionOf[1]})
+	r.Insert(ajdloss.Tuple{2, 2, countryOf[2]%ajdloss.Value(countries) + 1, 2, sectionOf[2]})
+	return r
+}

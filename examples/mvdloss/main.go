@@ -1,0 +1,93 @@
+// MVD loss on the classic normalization example: an employee relation
+// Employee(Name, Skill, Language) where every employee's skills and
+// languages vary independently — Fagin's motivating MVD
+// Name ↠ Skill | Language.
+//
+// The example shows the two loss measures tracking each other as the data
+// drifts away from the dependency: we corrupt an exact instance with
+// increasing numbers of ad-hoc tuples and report J = I(Skill;Language|Name)
+// next to the measured spurious-tuple loss of the decomposition
+// {Name,Skill}, {Name,Language}, together with the paper's bounds.
+//
+//	go run ./examples/mvdloss
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ajdloss"
+)
+
+func main() {
+	base := employees()
+	schema, err := ajdloss.MVDSchema([]string{"Name"}, []string{"Skill"}, []string{"Language"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mvd := ajdloss.MVD{X: []string{"Name"}, Y: []string{"Skill"}, Z: []string{"Language"}}
+
+	fmt.Println("Employee(Name, Skill, Language) vs MVD Name ->> Skill | Language")
+	fmt.Printf("%-8s %-6s %-12s %-12s %-14s %-10s\n",
+		"noise", "N", "J (nats)", "rho", "e^J-1 (lb)", "lossless")
+
+	rng := ajdloss.NewRand(2024)
+	for _, noise := range []int{0, 2, 5, 10, 25, 60} {
+		r := base.Clone()
+		injectNoise(rng, r, noise)
+		j, err := ajdloss.JMeasureSchema(r, schema)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loss, err := ajdloss.MVDLoss(r, mvd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %-6d %-12.6f %-12.6f %-14.6f %-10v\n",
+			noise, r.N(), j, loss.Rho, ajdloss.RhoLowerBound(j), loss.Spurious == 0)
+	}
+	fmt.Println("\nJ = 0 exactly when the MVD holds (Theorem 2.1); as noise grows,")
+	fmt.Println("e^J - 1 lower-bounds the measured loss (Lemma 4.1).")
+}
+
+// employees builds an exact instance of the MVD: each employee has an
+// independent set of skills and languages.
+func employees() *ajdloss.Relation {
+	r := ajdloss.NewRelation("Name", "Skill", "Language")
+	type emp struct {
+		name   ajdloss.Value
+		skills []ajdloss.Value
+		langs  []ajdloss.Value
+	}
+	people := []emp{
+		{1, []ajdloss.Value{101, 102}, []ajdloss.Value{201}},
+		{2, []ajdloss.Value{101}, []ajdloss.Value{201, 202, 203}},
+		{3, []ajdloss.Value{103, 104, 105}, []ajdloss.Value{202}},
+		{4, []ajdloss.Value{102, 105}, []ajdloss.Value{201, 203}},
+		{5, []ajdloss.Value{106}, []ajdloss.Value{204}},
+	}
+	for _, p := range people {
+		for _, s := range p.skills {
+			for _, l := range p.langs {
+				r.Insert(ajdloss.Tuple{p.name, s, l})
+			}
+		}
+	}
+	return r
+}
+
+// injectNoise inserts ad-hoc (Name, Skill, Language) combinations that break
+// the independence of skills and languages within an employee.
+func injectNoise(rng interface{ IntN(int) int }, r *ajdloss.Relation, k int) {
+	added := 0
+	for added < k {
+		t := ajdloss.Tuple{
+			ajdloss.Value(rng.IntN(5) + 1),
+			ajdloss.Value(rng.IntN(8) + 101),
+			ajdloss.Value(rng.IntN(5) + 201),
+		}
+		if r.Insert(t) {
+			added++
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package ajdloss
+
+import (
+	"math"
+	"testing"
+
+	"ajdloss/internal/fd"
+)
+
+// These tests exercise the facade wrappers not covered by the integration
+// tests — every exported function must at least round-trip through its
+// internal implementation.
+
+func TestFacadeJoinTreeAndJMeasure(t *testing.T) {
+	s := MustSchema([]string{"A", "B"}, []string{"B", "C"})
+	tree, err := BuildJoinTree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := FromRows([]string{"A", "B", "C"}, []Tuple{{1, 1, 1}, {2, 2, 2}})
+	j, err := JMeasure(r, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := JMeasureSchema(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j-j2) > 1e-12 {
+		t.Fatalf("JMeasure %v != JMeasureSchema %v", j, j2)
+	}
+}
+
+func TestFacadeEpsilonStar(t *testing.T) {
+	if EpsilonStar(64, 4, 1000, 0.05) <= 0 {
+		t.Fatal("EpsilonStar not positive")
+	}
+}
+
+func TestFacadeMultiset(t *testing.T) {
+	m := NewMultiset("A", "B")
+	m.Add(Tuple{1, 2}, 3)
+	if m.N() != 3 {
+		t.Fatalf("N = %d", m.N())
+	}
+	r := FromRows([]string{"A"}, []Tuple{{1}, {2}})
+	if MultisetOf(r).Distinct() != 2 {
+		t.Fatal("MultisetOf wrong")
+	}
+}
+
+func TestFacadeFD(t *testing.T) {
+	r := FromRows([]string{"A", "B"}, []Tuple{{1, 10}, {2, 10}, {1, 10}})
+	ok, err := FDHolds(r, FD{X: []string{"A"}, Y: []string{"B"}})
+	if err != nil || !ok {
+		t.Fatalf("FDHolds = %v, %v", ok, err)
+	}
+	g3, err := G3Error(r, FD{X: nil, Y: []string{"A"}})
+	if err != nil || g3 <= 0 {
+		t.Fatalf("G3Error = %v, %v", g3, err)
+	}
+	ds, err := DiscoverFDs(r, fd.DiscoverConfig{MaxLHS: 1})
+	if err != nil || len(ds) == 0 {
+		t.Fatalf("DiscoverFDs = %v, %v", ds, err)
+	}
+	keys, err := CandidateKeys(r, 0)
+	if err != nil || len(keys) == 0 {
+		t.Fatalf("CandidateKeys = %v, %v", keys, err)
+	}
+}
+
+func TestFacadeDissect(t *testing.T) {
+	r := NewRelation("A", "B", "C")
+	for c := Value(1); c <= 3; c++ {
+		for a := Value(1); a <= 2; a++ {
+			for b := Value(1); b <= 2; b++ {
+				r.Insert(Tuple{10*c + a, 20*c + b, c})
+			}
+		}
+	}
+	cand, err := Dissect(r, DissectConfig{MaxSep: 1, Threshold: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.J > 1e-9 || cand.Tree.Len() < 2 {
+		t.Fatalf("Dissect = %v (J=%v)", cand.Tree, cand.J)
+	}
+}
+
+func TestFacadeJoinSampler(t *testing.T) {
+	r := Diagonal(6)
+	s := MustSchema([]string{"A"}, []string{"B"})
+	sampler, err := NewJoinSampler(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampler.JoinSize() != 36 {
+		t.Fatalf("join size = %d", sampler.JoinSize())
+	}
+	rng := NewRand(1)
+	sp := SampleSpurious(sampler, r, rng, 100)
+	if len(sp) == 0 {
+		t.Fatal("no spurious samples from a 36/6 join")
+	}
+	// Cyclic schema rejected.
+	cyclic := MustSchema([]string{"A", "B"}, []string{"B", "C"}, []string{"C", "A"})
+	if _, err := NewJoinSampler(r, cyclic); err == nil {
+		t.Fatal("cyclic schema accepted")
+	}
+}
+
+func TestFacadeDecomposeAndFrontier(t *testing.T) {
+	r := Diagonal(8)
+	s := MustSchema([]string{"A", "B"})
+	d, err := Decompose(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := d.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.N() != 8 {
+		t.Fatalf("reconstruction N = %d", rec.N())
+	}
+	frontier, err := CompressionFrontier(r, []*Schema{
+		s, MustSchema([]string{"A"}, []string{"B"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if frontier[len(frontier)-1].String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestFacadeDiscoverAndMVDSchema(t *testing.T) {
+	r := Diagonal(5)
+	cand, err := Discover(r, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.J > 1e-9 {
+		t.Fatalf("Discover J = %v", cand.J)
+	}
+	s, err := MVDSchema([]string{"X"}, []string{"Y"}, []string{"Z"})
+	if err != nil || s.Len() != 2 {
+		t.Fatalf("MVDSchema = %v, %v", s, err)
+	}
+	if _, err := NewSchema([]string{"A"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRandomModel(t *testing.T) {
+	model := RandomModel{Attrs: []string{"A", "B"}, Domains: []int{5, 5}, N: 10}
+	r, err := model.Sample(NewRand(3))
+	if err != nil || r.N() != 10 {
+		t.Fatalf("Sample = %v, %v", r, err)
+	}
+	h, err := Entropy(r, "A", "B")
+	if err != nil || math.Abs(h-math.Log(10)) > 1e-9 {
+		t.Fatalf("Entropy = %v, %v", h, err)
+	}
+}

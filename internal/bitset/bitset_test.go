@@ -1,0 +1,184 @@
+package bitset
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(10)
+	if !s.IsEmpty() {
+		t.Fatal("new set not empty")
+	}
+	s.Add(3)
+	s.Add(7)
+	s.Add(3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(3) || !s.Contains(7) || s.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	s.Remove(3)
+	if s.Contains(3) || s.Len() != 1 {
+		t.Fatal("Remove failed")
+	}
+	s.Remove(100) // out of range: no-op
+	s.Remove(-1)  // negative: no-op
+}
+
+func TestGrowth(t *testing.T) {
+	s := Of()
+	s.Add(1000)
+	if !s.Contains(1000) || s.Len() != 1 {
+		t.Fatal("growth failed")
+	}
+	if s.Contains(999) || s.Contains(1001) {
+		t.Fatal("phantom elements after growth")
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	s := New(4)
+	s.Add(-1)
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Of(1, 2, 3, 64, 100)
+	b := Of(3, 64, 200)
+	union := a.Union(b)
+	if got := union.Elems(); !reflect.DeepEqual(got, []int{1, 2, 3, 64, 100, 200}) {
+		t.Fatalf("Union = %v", got)
+	}
+	inter := a.Intersect(b)
+	if got := inter.Elems(); !reflect.DeepEqual(got, []int{3, 64}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	diff := a.Diff(b)
+	if got := diff.Elems(); !reflect.DeepEqual(got, []int{1, 2, 100}) {
+		t.Fatalf("Diff = %v", got)
+	}
+	if !inter.SubsetOf(a) || !inter.SubsetOf(b) {
+		t.Fatal("intersection not subset of operands")
+	}
+	if !a.Intersects(b) || a.Intersects(Of(5)) {
+		t.Fatal("Intersects wrong")
+	}
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a := Of(1, 65)
+	b := New(128)
+	b.Add(1)
+	b.Add(65)
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	// Keys must agree even when capacity differs (trailing zero words).
+	c := New(1024)
+	c.Add(1)
+	c.Add(65)
+	if a.Key() != c.Key() {
+		t.Fatal("Key differs across capacities")
+	}
+	d := Of(1, 66)
+	if a.Key() == d.Key() {
+		t.Fatal("distinct sets share a key")
+	}
+}
+
+func TestMinAndString(t *testing.T) {
+	if _, ok := Of().Min(); ok {
+		t.Fatal("empty Min ok")
+	}
+	if m, ok := Of(9, 4, 70).Min(); !ok || m != 4 {
+		t.Fatalf("Min = %d", m)
+	}
+	if s := Of(2, 1).String(); s != "{1, 2}" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := Of(1, 2)
+	b := a.Clone()
+	b.Add(3)
+	if a.Contains(3) {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+// randomSet draws a set over [0, 130) — spanning word boundaries.
+func randomSet(rng *rand.Rand) Set {
+	s := New(130)
+	for i := 0; i < 130; i++ {
+		if rng.Float64() < 0.3 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickAlgebraLaws(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	f := func(seed uint64) bool {
+		local := rand.New(rand.NewPCG(seed, rng.Uint64()))
+		a, b, c := randomSet(local), randomSet(local), randomSet(local)
+		// De Morgan relative to a universe approximated by a∪b∪c.
+		if !a.Intersect(b).Union(a.Intersect(c)).Equal(a.Intersect(b.Union(c))) {
+			return false
+		}
+		// |a∪b| = |a| + |b| − |a∩b|.
+		if a.Union(b).Len() != a.Len()+b.Len()-a.Intersect(b).Len() {
+			return false
+		}
+		// Diff then union restores subset relation.
+		if !a.Diff(b).SubsetOf(a) {
+			return false
+		}
+		// Union is commutative; intersect associative.
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Intersect(b).Intersect(c).Equal(a.Intersect(b.Intersect(c))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickElemsRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		elems := make([]int, 0, len(raw))
+		for _, r := range raw {
+			elems = append(elems, int(r%500))
+		}
+		s := FromSlice(elems)
+		// Every listed element is contained, and Elems is sorted unique.
+		got := s.Elems()
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				return false
+			}
+		}
+		for _, e := range elems {
+			if !s.Contains(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

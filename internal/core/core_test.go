@@ -1,0 +1,447 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ajdloss/internal/infotheory"
+	"ajdloss/internal/jointree"
+	"ajdloss/internal/randrel"
+	"ajdloss/internal/relation"
+	"ajdloss/internal/schemagen"
+)
+
+// randomInstance draws a random join tree and a random relation over its
+// attributes.
+func randomInstance(seed uint64, m, nAttrs, domain, n int) (*jointree.JoinTree, *relation.Relation, error) {
+	rng := randrel.NewRand(seed)
+	tree, err := schemagen.RandomJoinTree(rng, m, nAttrs, 0.4)
+	if err != nil {
+		return nil, nil, err
+	}
+	attrs := tree.Attrs()
+	domains := make([]int, len(attrs))
+	for i := range domains {
+		domains[i] = domain
+	}
+	model := randrel.Model{Attrs: attrs, Domains: domains, N: n}
+	if p, overflow := model.DomainProduct(); !overflow && int64(n) > p {
+		model.N = int(p)
+	}
+	r, err := model.Sample(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tree, r, nil
+}
+
+func TestExample41Exact(t *testing.T) {
+	// Example 4.1: for every N ≥ 2 the diagonal relation has
+	// J = I(A;B) = log N = log(1+ρ) for S = {{A},{B}}.
+	schema := jointree.MustSchema([]string{"A"}, []string{"B"})
+	for _, n := range []int{2, 3, 10, 100} {
+		r := schemagen.Diagonal(n)
+		rep, err := Analyze(r, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Log(float64(n))
+		if math.Abs(rep.J-want) > 1e-9 {
+			t.Errorf("N=%d: J = %v, want %v", n, rep.J, want)
+		}
+		if math.Abs(rep.Loss.LogOnePlusRho()-want) > 1e-9 {
+			t.Errorf("N=%d: log(1+rho) = %v, want %v", n, rep.Loss.LogOnePlusRho(), want)
+		}
+		if rep.Loss.Spurious != int64(n)*int64(n)-int64(n) {
+			t.Errorf("N=%d: spurious = %d", n, rep.Loss.Spurious)
+		}
+		if err := rep.Verify(1e-9); err != nil {
+			t.Errorf("N=%d: %v", n, err)
+		}
+	}
+}
+
+func TestMVDJMeasureIsCMI(t *testing.T) {
+	// Section 2.2: for S = {XZ, XY}, J(S) = I(Z;Y|X).
+	rng := randrel.NewRand(2)
+	model := randrel.Model{Attrs: []string{"X", "Y", "Z"}, Domains: []int{3, 4, 4}, N: 30}
+	r, err := model.Sample(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := jointree.MustSchema([]string{"X", "Y"}, []string{"X", "Z"})
+	j, err := JMeasureSchema(r, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmi := infotheory.MustCMI(r, []string{"Y"}, []string{"Z"}, []string{"X"})
+	if math.Abs(j-cmi) > 1e-9 {
+		t.Fatalf("J = %v, I(Y;Z|X) = %v", j, cmi)
+	}
+}
+
+func TestJMeasureTreeInvariance(t *testing.T) {
+	// J depends only on the schema, not the join tree shape: the MVD
+	// X ↠ U|V|W has join trees XU−XV−XW (chain, any order) and the star.
+	rng := randrel.NewRand(3)
+	model := randrel.Model{Attrs: []string{"X", "U", "V", "W"}, Domains: []int{2, 3, 3, 3}, N: 25}
+	r, err := model.Sample(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bags := [][]string{{"X", "U"}, {"X", "V"}, {"X", "W"}}
+	trees := [][][2]int{
+		{{0, 1}, {1, 2}}, // XU−XV−XW
+		{{0, 2}, {2, 1}}, // XU−XW−XV
+		{{0, 1}, {0, 2}}, // star at XU
+	}
+	var j0 float64
+	for i, edges := range trees {
+		tree := jointree.MustJoinTree(bags, edges)
+		j, err := JMeasure(r, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			j0 = j
+			continue
+		}
+		if math.Abs(j-j0) > 1e-9 {
+			t.Fatalf("tree %d: J = %v, tree 0: %v", i, j, j0)
+		}
+	}
+}
+
+func TestTheorem21LosslessIffJZero(t *testing.T) {
+	rng := randrel.NewRand(4)
+	tree, err := schemagen.RandomJoinTree(rng, 3, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := schemagen.UniformDomains(tree.Attrs(), 3)
+	r, err := schemagen.LosslessRelation(rng, tree, domains, 12)
+	if err != nil {
+		t.Skip("planted join came out empty; deterministic seed avoids this in CI")
+	}
+	rep, err := Analyze(r, tree.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.J > 1e-9 {
+		t.Fatalf("planted lossless relation has J = %v", rep.J)
+	}
+	if rep.Loss.Spurious != 0 {
+		t.Fatalf("planted lossless relation has %d spurious tuples", rep.Loss.Spurious)
+	}
+	if !rep.Lossless {
+		t.Fatal("report not marked lossless")
+	}
+	ok, err := SatisfiesJD(r, tree.Schema())
+	if err != nil || !ok {
+		t.Fatalf("SatisfiesJD = %v, %v", ok, err)
+	}
+}
+
+func TestFactorizationMarginals(t *testing.T) {
+	// Lemma 3.3: P^T preserves every bag and separator marginal of P.
+	tree, r, err := randomInstance(5, 3, 5, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rooted := jointree.MustRoot(tree, 0)
+	f, err := NewFactorization(r, rooted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, joined, err := f.Dist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.Validate(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// For every bag, marginal of P^T equals empirical marginal of R.
+	cols := joined.MustColumns(r.Attrs())
+	for _, bag := range tree.Bags {
+		want, err := infotheory.EmpiricalDist(r, bag...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]float64)
+		bagIdx := make([]int, len(bag))
+		for k, a := range bag {
+			p, _ := r.Pos(a)
+			bagIdx[k] = p
+		}
+		buf := make(relation.Tuple, len(cols))
+		bbuf := make(relation.Tuple, len(bag))
+		for _, tup := range joined.Rows() {
+			for i, c := range cols {
+				buf[i] = tup[c]
+			}
+			for k, p := range bagIdx {
+				bbuf[k] = buf[p]
+			}
+			got[relation.RowKey(bbuf)] += f.Prob(buf)
+		}
+		for k, w := range want {
+			if math.Abs(got[k]-w) > 1e-9 {
+				t.Fatalf("bag %v: marginal mismatch %v vs %v", bag, got[k], w)
+			}
+		}
+	}
+}
+
+func TestFactorizationZeroOutside(t *testing.T) {
+	r := schemagen.Diagonal(3)
+	tree, err := jointree.BuildJoinTree(jointree.MustSchema([]string{"A"}, []string{"B"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFactorization(r, jointree.MustRoot(tree, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuple with values outside the active domain has probability zero.
+	if p := f.Prob(relation.Tuple{9, 9}); p != 0 {
+		t.Fatalf("P^T(outside) = %v", p)
+	}
+	// Spurious tuple (1,2) has positive probability 1/9.
+	if p := f.Prob(relation.Tuple{1, 2}); math.Abs(p-1.0/9) > 1e-12 {
+		t.Fatalf("P^T(spurious) = %v, want 1/9", p)
+	}
+}
+
+func TestEmptyRelationErrors(t *testing.T) {
+	r := relation.New("A", "B")
+	s := jointree.MustSchema([]string{"A"}, []string{"B"})
+	if _, err := ComputeLoss(r, s); err == nil {
+		t.Fatal("loss of empty relation did not error")
+	}
+	if _, err := Analyze(r, s); err == nil {
+		t.Fatal("analyze of empty relation did not error")
+	}
+	if _, err := MVDLoss(r, jointree.MVD{X: nil, Y: []string{"A"}, Z: []string{"B"}}); err == nil {
+		t.Fatal("MVD loss of empty relation did not error")
+	}
+}
+
+func TestSchemaNotCoveringErrors(t *testing.T) {
+	r := schemagen.Diagonal(4)              // attrs A, B
+	s := jointree.MustSchema([]string{"A"}) // does not cover B
+	if _, err := ComputeLoss(r, s); err == nil {
+		t.Fatal("non-covering schema did not error (join smaller than R)")
+	}
+}
+
+func TestSpuriousTuples(t *testing.T) {
+	r := schemagen.Diagonal(3)
+	s := jointree.MustSchema([]string{"A"}, []string{"B"})
+	sp, err := SpuriousTuples(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.N() != 6 {
+		t.Fatalf("spurious set = %d, want 6", sp.N())
+	}
+	if sp.Contains(relation.Tuple{1, 1}) {
+		t.Fatal("original tuple reported spurious")
+	}
+	if !sp.Contains(relation.Tuple{1, 2}) {
+		t.Fatal("missing spurious tuple")
+	}
+}
+
+func TestBoundFormulas(t *testing.T) {
+	// Spot-check the explicit constants of Section 5.
+	if got := CFactor(100); math.Abs(got-2*math.Log(100)/10) > 1e-12 {
+		t.Fatalf("CFactor = %v", got)
+	}
+	if CFactor(1) != 0 {
+		t.Fatal("CFactor(1) != 0")
+	}
+	if got := HFunc(1); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Fatalf("HFunc(1) = %v", got)
+	}
+	if HFunc(-1) != 0 {
+		t.Fatal("HFunc negative not clamped")
+	}
+	// ε* monotonicity: decreasing in N, increasing in dA.
+	if EpsilonStar(64, 4, 1000, 0.05) <= EpsilonStar(64, 4, 100000, 0.05) {
+		t.Fatal("EpsilonStar not decreasing in N")
+	}
+	if EpsilonStar(128, 4, 1000, 0.05) <= EpsilonStar(64, 4, 1000, 0.05) {
+		t.Fatal("EpsilonStar not increasing in dA")
+	}
+	// d = max(dA, dC) kicks in.
+	if EpsilonStar(8, 1024, 1000, 0.05) <= EpsilonStar(8, 8, 1000, 0.05) {
+		t.Fatal("EpsilonStar ignores dC")
+	}
+	// Qualifying N grows with dA.
+	if QualifyingN(128, 1, 0.05) <= QualifyingN(64, 1, 0.05) {
+		t.Fatal("QualifyingN not increasing")
+	}
+	if RhoBar(10, 10, 50) != 1 {
+		t.Fatalf("RhoBar = %v", RhoBar(10, 10, 50))
+	}
+	if RhoLowerBound(math.Log(2)) != 1 {
+		t.Fatalf("RhoLowerBound(log 2) = %v", RhoLowerBound(math.Log(2)))
+	}
+}
+
+func TestSchemaBound(t *testing.T) {
+	tree, r, err := randomInstance(6, 3, 5, 4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rooted := jointree.MustRoot(tree, 0)
+	domains := schemagen.UniformDomains(tree.Attrs(), 4)
+	b, err := ComputeSchemaBound(r, rooted, domains, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SumEpsilon <= 0 || b.Bound != b.SumCMI+b.SumEpsilon {
+		t.Fatalf("bound inconsistent: %+v", b)
+	}
+	// Missing domain errors.
+	if _, err := ComputeSchemaBound(r, rooted, map[string]int{}, 0.05); err == nil {
+		t.Fatal("missing domains did not error")
+	}
+	// Single-bag tree: no MVDs, qualified trivially.
+	one := jointree.MustJoinTree([][]string{tree.Attrs()}, nil)
+	b1, err := ComputeSchemaBound(r, jointree.MustRoot(one, 0), domains, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Bound != 0 || !b1.Qualified {
+		t.Fatalf("trivial bound = %+v", b1)
+	}
+}
+
+func TestQuickTheorem32(t *testing.T) {
+	// J(T) = D_KL(P‖P^T) on random instances.
+	f := func(seed uint64) bool {
+		tree, r, err := randomInstance(seed, 2+int(seed%4), 5+int(seed%3), 3, 25)
+		if err != nil {
+			return false
+		}
+		j, err := JMeasure(r, tree)
+		if err != nil {
+			return false
+		}
+		fac, err := NewFactorization(r, jointree.MustRoot(tree, 0))
+		if err != nil {
+			return false
+		}
+		kl, err := fac.KLFromEmpirical()
+		if err != nil {
+			return false
+		}
+		return math.Abs(j-kl) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLemma41AndTheorem22AndProp51(t *testing.T) {
+	f := func(seed uint64) bool {
+		_, r, err := randomInstance(seed, 2+int(seed%4), 5+int(seed%3), 3, 30)
+		if err != nil {
+			return false
+		}
+		// Reuse the instance's own schema via a fresh analysis.
+		tree, _, err := randomInstance(seed, 2+int(seed%4), 5+int(seed%3), 3, 30)
+		if err != nil {
+			return false
+		}
+		rep, err := Analyze(r, tree.Schema())
+		if err != nil {
+			return false
+		}
+		return rep.Verify(1e-7) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJMeasureRootInvariance(t *testing.T) {
+	// The KL factorization is the same from any root (P^T depends only on
+	// the tree): KLFromEmpirical must agree across roots.
+	f := func(seed uint64) bool {
+		tree, r, err := randomInstance(seed, 3, 6, 3, 25)
+		if err != nil {
+			return false
+		}
+		var ref float64
+		for root := 0; root < tree.Len(); root++ {
+			fac, err := NewFactorization(r, jointree.MustRoot(tree, root))
+			if err != nil {
+				return false
+			}
+			kl, err := fac.KLFromEmpirical()
+			if err != nil {
+				return false
+			}
+			if root == 0 {
+				ref = kl
+			} else if math.Abs(kl-ref) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelsTree(t *testing.T) {
+	rng := randrel.NewRand(9)
+	tree, err := schemagen.RandomJoinTree(rng, 3, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := schemagen.UniformDomains(tree.Attrs(), 3)
+	r, err := schemagen.LosslessRelation(rng, tree, domains, 10)
+	if err != nil {
+		t.Skip("planted join empty")
+	}
+	ok, err := ModelsTree(r, jointree.MustRoot(tree, 0), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("lossless relation does not model its tree")
+	}
+	// The diagonal relation does not model the independence tree.
+	diag := schemagen.Diagonal(5)
+	t2, err := jointree.BuildJoinTree(jointree.MustSchema([]string{"A"}, []string{"B"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = ModelsTree(diag, jointree.MustRoot(t2, 0), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("diagonal relation models independence")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := schemagen.Diagonal(4)
+	rep, err := Analyze(r, jointree.MustSchema([]string{"A"}, []string{"B"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"J-measure", "spurious", "Lemma 4.1", "lossless"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

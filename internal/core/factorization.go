@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ajdloss/internal/infotheory"
+	"ajdloss/internal/jointree"
+	"ajdloss/internal/relation"
+)
+
+// Factorization evaluates the join-tree factorization P^T (Eq. 10) of the
+// empirical distribution of a relation:
+//
+//	P^T(x) = Π_i P[Ωᵢ](x[Ωᵢ]) / Π_i P[Δᵢ](x[Δᵢ]).
+//
+// It precomputes the marginal counts of every bag and separator so P^T can
+// be evaluated per tuple in O(m) map lookups.
+type Factorization struct {
+	r      *relation.Relation
+	rooted *jointree.Rooted
+	n      float64
+	// bagCols/sepCols are column positions in r for each bag/separator.
+	bagCols [][]int
+	sepCols [][]int
+	// bagCounts/sepCounts are marginal multiplicities keyed by encoded rows.
+	bagCounts []map[string]int
+	sepCounts []map[string]int
+}
+
+// NewFactorization builds the P^T evaluator for the empirical distribution
+// of r and the rooted join tree.
+func NewFactorization(r *relation.Relation, rooted *jointree.Rooted) (*Factorization, error) {
+	if r.N() == 0 {
+		return nil, fmt.Errorf("core: factorization of an empty relation")
+	}
+	f := &Factorization{r: r, rooted: rooted, n: float64(r.N())}
+	m := len(rooted.Order)
+	for i := 0; i < m; i++ {
+		bag := rooted.Bag(i)
+		counts, err := r.ProjectCounts(bag...)
+		if err != nil {
+			return nil, err
+		}
+		f.bagCols = append(f.bagCols, r.MustColumns(bag))
+		f.bagCounts = append(f.bagCounts, counts)
+	}
+	for i := 1; i < m; i++ {
+		sep := rooted.Sep[i]
+		counts, err := r.ProjectCounts(sep...)
+		if err != nil {
+			return nil, err
+		}
+		f.sepCols = append(f.sepCols, r.MustColumns(sep))
+		f.sepCounts = append(f.sepCounts, counts)
+	}
+	return f, nil
+}
+
+func project(t relation.Tuple, cols []int) string {
+	buf := make(relation.Tuple, len(cols))
+	for i, c := range cols {
+		buf[i] = t[c]
+	}
+	return relation.RowKey(buf)
+}
+
+// Prob returns P^T(t) for a tuple t over r's full schema. Tuples whose bag
+// projections never occur in r get probability 0.
+func (f *Factorization) Prob(t relation.Tuple) float64 {
+	logp, ok := f.LogProb(t)
+	if !ok {
+		return 0
+	}
+	return math.Exp(logp)
+}
+
+// LogProb returns ln P^T(t) and whether the probability is positive.
+func (f *Factorization) LogProb(t relation.Tuple) (float64, bool) {
+	var lp float64
+	for i, cols := range f.bagCols {
+		c := f.bagCounts[i][project(t, cols)]
+		if c == 0 {
+			return 0, false
+		}
+		lp += math.Log(float64(c) / f.n)
+	}
+	for i, cols := range f.sepCols {
+		c := f.sepCounts[i][project(t, cols)]
+		if c == 0 {
+			// Unreachable if all bag counts were positive (separator ⊆ bag),
+			// kept as a guard for malformed trees.
+			return 0, false
+		}
+		lp -= math.Log(float64(c) / f.n)
+	}
+	return lp, true
+}
+
+// KLFromEmpirical returns D_KL(P ‖ P^T) where P is the empirical
+// distribution of r. By Theorem 3.2 this equals J(T); the equality is
+// verified in tests and exposed as an internal consistency check.
+func (f *Factorization) KLFromEmpirical() (float64, error) {
+	var d float64
+	invN := 1.0 / f.n
+	for _, t := range f.r.Rows() {
+		lq, ok := f.LogProb(t)
+		if !ok {
+			return 0, fmt.Errorf("core: P^T assigns zero probability to a tuple of R; join tree does not cover the schema")
+		}
+		d += invN * (math.Log(invN) - lq)
+	}
+	if d < 0 && d > -1e-9 {
+		d = 0
+	}
+	return d, nil
+}
+
+// Dist materializes the full P^T distribution over the support of the
+// acyclic join ⋈ᵢ R[Ωᵢ] (the support of P^T), keyed by encoded rows in the
+// attribute order of the join result, which is also returned. Intended for
+// tests and small instances: the join can be much larger than R.
+func (f *Factorization) Dist() (infotheory.Dist, *relation.Relation, error) {
+	rels := make([]*relation.Relation, f.rooted.Tree.Len())
+	var err error
+	for i, bag := range f.rooted.Tree.Bags {
+		rels[i], err = f.r.Project(bag...)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	joined, err := materializeForDist(f.rooted, rels)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := joined.MustColumns(f.r.Attrs())
+	d := make(infotheory.Dist, joined.N())
+	var total float64
+	for _, t := range joined.Rows() {
+		// Reorder the join tuple into r's attribute order for evaluation.
+		buf := make(relation.Tuple, len(cols))
+		for i, c := range cols {
+			buf[i] = t[c]
+		}
+		p := f.Prob(buf)
+		d[relation.RowKey(buf)] = p
+		total += p
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return nil, nil, fmt.Errorf("core: P^T sums to %.9f over the join support, want 1", total)
+	}
+	return d, joined, nil
+}
+
+// materializeForDist joins the per-bag relations in rooted order.
+func materializeForDist(rooted *jointree.Rooted, rels []*relation.Relation) (*relation.Relation, error) {
+	acc := rels[rooted.Order[0]]
+	for i := 1; i < len(rooted.Order); i++ {
+		acc = acc.NaturalJoin(rels[rooted.Order[i]])
+	}
+	return acc, nil
+}
+
+// ModelsTree reports whether the empirical distribution of r models the join
+// tree (Definition 2.2): the factorization terms I(Ω_{1:i−1};Ωᵢ|Δᵢ) vanish
+// for every i ∈ [2,m] within tol. These terms telescope to J(T), so modeling
+// is equivalent to J(T) = 0 and hence (Proposition 3.1) to P = P^T.
+func ModelsTree(r infotheory.Source, rooted *jointree.Rooted, tol float64) (bool, error) {
+	for i := 1; i < len(rooted.Order); i++ {
+		mi, err := infotheory.ConditionalMutualInformation(r, rooted.Prefix(i-1), rooted.Bag(i), rooted.Sep[i])
+		if err != nil {
+			return false, err
+		}
+		if mi > tol {
+			return false, nil
+		}
+	}
+	return true, nil
+}

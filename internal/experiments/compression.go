@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"ajdloss/internal/discovery"
+	"ajdloss/internal/normalize"
+	"ajdloss/internal/randrel"
+	"ajdloss/internal/relation"
+	"ajdloss/internal/schemagen"
+)
+
+// CompressionConfig parameterizes E12: the compression/loss trade-off of
+// the paper's introduction ([22]) on planted data — a lossless AJD plus
+// noise — across discovery thresholds.
+type CompressionConfig struct {
+	Bags, Attrs int
+	Domain      int
+	PerBag      int
+	Noise       []int
+	Thresholds  []float64
+	Seed        uint64
+}
+
+// DefaultCompression plants a 3-bag AJD and sweeps noise and thresholds.
+func DefaultCompression() CompressionConfig {
+	return CompressionConfig{
+		Bags: 3, Attrs: 5, Domain: 4, PerBag: 14,
+		Noise:      []int{0, 20},
+		Thresholds: []float64{1e-9, 0.05, 0.2},
+		Seed:       61,
+	}
+}
+
+// Compression (E12) measures stored cells, compression ratio, J, ρ, and the
+// Lemma 4.1 floor of dissected schemas on planted-plus-noise data.
+func Compression(cfg CompressionConfig) (*Table, error) {
+	if cfg.Bags <= 0 || cfg.Attrs < cfg.Bags || cfg.Domain <= 0 || cfg.PerBag <= 0 {
+		return nil, fmt.Errorf("experiments: invalid compression config %+v", cfg)
+	}
+	t := &Table{
+		ID:    "E12",
+		Title: "Compression vs loss (intro application): dissected schemas on planted AJD + noise",
+		Columns: []string{
+			"noise", "threshold", "schema_bags", "cells_orig", "cells_stored",
+			"compression", "J", "rho", "rho_floor=e^J-1",
+		},
+	}
+	// Plant one lossless instance (retry seeds until the join is nonempty).
+	var base *jointreeRelation
+	for attempt := uint64(0); attempt < 50; attempt++ {
+		rng := randrel.NewRand(cfg.Seed + attempt)
+		tree, err := schemagen.RandomJoinTree(rng, cfg.Bags, cfg.Attrs, 0.4)
+		if err != nil {
+			return nil, err
+		}
+		domains := schemagen.UniformDomains(tree.Attrs(), cfg.Domain)
+		r, err := schemagen.LosslessRelation(rng, tree, domains, cfg.PerBag)
+		if err != nil {
+			continue
+		}
+		base = &jointreeRelation{domains: domains, r: r, rng: rng}
+		break
+	}
+	if base == nil {
+		return nil, fmt.Errorf("experiments: could not plant a nonempty AJD in 50 attempts")
+	}
+	for _, noise := range cfg.Noise {
+		r := base.r
+		if noise > 0 {
+			noisy, err := schemagen.NoisyRelation(base.rng, base.r, base.domains, noise)
+			if err != nil {
+				return nil, err
+			}
+			r = noisy
+		}
+		cellsOrig := int64(r.N()) * int64(r.Arity())
+		for _, threshold := range cfg.Thresholds {
+			cand, err := discovery.Dissect(r, discovery.DissectConfig{MaxSep: 2, Threshold: threshold})
+			if err != nil {
+				return nil, err
+			}
+			rep, err := normalize.Assess(r, cand.Schema())
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(noise, fmt.Sprintf("%g", threshold), cand.Tree.Len(), cellsOrig,
+				rep.StoredCells, rep.Compression, rep.J, rep.Loss.Rho, rep.RhoLower)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"higher thresholds split more aggressively: more compression, more loss; e^J-1 floors rho on every row (Lemma 4.1)",
+		"at noise 0 the exact threshold recovers the planted schema: compression > 1 with rho = 0",
+	)
+	return t, nil
+}
+
+type jointreeRelation struct {
+	domains map[string]int
+	r       *relation.Relation
+	rng     *rand.Rand
+}

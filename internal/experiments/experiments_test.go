@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "demo", Columns: []string{"a", "b"}}
+	tbl.AddRow(1, 2.5)
+	tbl.Notes = append(tbl.Notes, "a note")
+	var text bytes.Buffer
+	if err := tbl.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "2.500000", "a note"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text output missing %q:\n%s", want, text.String())
+		}
+	}
+	var csv bytes.Buffer
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(csv.String()); got != "a,b\n1,2.500000" {
+		t.Fatalf("csv = %q", got)
+	}
+}
+
+func TestFigure1SmallConvergence(t *testing.T) {
+	cfg := Figure1Config{Ds: []int{40, 120}, Rho: 0.1, Seeds: 3, Seed: 5}
+	points, err := Figure1Points(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	gap := func(d int) float64 {
+		var sum float64
+		n := 0
+		for _, p := range points {
+			if p.D == d {
+				sum += math.Log1p(p.RhoBar) - p.MI
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	// The paper's Figure 1 shape: the MI gap to log(1+ρ) shrinks with d,
+	// and the MI sits below the asymptote.
+	if !(gap(120) < gap(40)) {
+		t.Fatalf("gap did not shrink: d=40 gap %v, d=120 gap %v", gap(40), gap(120))
+	}
+	for _, p := range points {
+		if p.MI > math.Log1p(p.RhoBar)+1e-9 {
+			t.Fatalf("MI %v exceeded log(1+rhobar) %v", p.MI, math.Log1p(p.RhoBar))
+		}
+	}
+	tbl, err := Figure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFigure1Validation(t *testing.T) {
+	if _, err := Figure1Points(Figure1Config{Ds: []int{10}, Rho: -1}); err == nil {
+		t.Fatal("negative rho accepted")
+	}
+	if _, err := Figure1Points(Figure1Config{Ds: []int{1}, Rho: 10, Seeds: 1}); err == nil {
+		t.Fatal("empty relation config accepted")
+	}
+}
+
+func TestTightnessExact(t *testing.T) {
+	tbl, err := Tightness([]int{2, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		diff, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(diff) > 1e-9 {
+			t.Fatalf("tightness diff = %v in row %v", diff, row)
+		}
+	}
+	if _, err := Tightness([]int{1}); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+}
+
+func TestLowerBoundNoViolations(t *testing.T) {
+	cfg := DefaultRandomTrials()
+	cfg.Trials = 40
+	tbl, err := LowerBound(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0][1] != "0" {
+		t.Fatalf("Lemma 4.1 violations: %v", tbl.Rows[0])
+	}
+}
+
+func TestSandwichNoViolations(t *testing.T) {
+	cfg := DefaultRandomTrials()
+	cfg.Trials = 40
+	tbl, err := Sandwich(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0][1] != "0" {
+		t.Fatalf("Theorem 2.2 violations: %v", tbl.Rows[0])
+	}
+}
+
+func TestMVDDecompositionRuns(t *testing.T) {
+	cfg := DefaultRandomTrials()
+	cfg.Trials = 40
+	tbl, err := MVDDecomposition(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finding F2: a few violations are possible but must stay rare.
+	viol, err := strconv.Atoi(tbl.Rows[0][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol > cfg.Trials/10 {
+		t.Fatalf("unexpectedly many Prop 5.1 violations: %d/%d", viol, cfg.Trials)
+	}
+}
+
+func TestUpperBoundCoverage(t *testing.T) {
+	cfg := UpperBoundConfig{DA: 16, DB: 16, DC: 1, N: 150, Delta: 0.05, Trials: 20, Seed: 9}
+	row, err := UpperBoundCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The theorem guarantees coverage ≥ 1−δ when qualified; the constants
+	// are so conservative that coverage is 1.0 in any reasonable regime.
+	if row.CoverEps < 0.95 {
+		t.Fatalf("eps* coverage = %v", row.CoverEps)
+	}
+	if row.EpsStar <= 0 {
+		t.Fatalf("eps* = %v", row.EpsStar)
+	}
+	if _, err := UpperBoundCell(UpperBoundConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestEntropyConfidence(t *testing.T) {
+	cfgs := []EntropyConfidenceConfig{{DA: 20, DB: 20, Eta: 360, Delta: 0.05, Trials: 10, Seed: 10}}
+	tbl, err := EntropyConfidence(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, err := strconv.ParseFloat(tbl.Rows[0][len(tbl.Rows[0])-1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cover < 0.95 {
+		t.Fatalf("entropy coverage = %v", cover)
+	}
+	if _, err := EntropyConfidence([]EntropyConfidenceConfig{{}}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestDiscoveryExperiment(t *testing.T) {
+	cfg := DiscoveryConfig{DC: 3, Block: 4, Noises: []int{0, 10}, Seed: 11}
+	tbl, err := Discovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// noise 0: J and rho are both zero.
+	j0, _ := strconv.ParseFloat(tbl.Rows[0][3], 64)
+	rho0, _ := strconv.ParseFloat(tbl.Rows[0][4], 64)
+	if j0 > 1e-9 || rho0 > 1e-9 {
+		t.Fatalf("planted noiseless row not lossless: %v", tbl.Rows[0])
+	}
+	// noise 10: J positive.
+	j1, _ := strconv.ParseFloat(tbl.Rows[1][3], 64)
+	if j1 <= 0 {
+		t.Fatalf("noisy row has J = %v", j1)
+	}
+	if _, err := Discovery(DiscoveryConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestCountAblation(t *testing.T) {
+	cfg := AblationConfig{Attrs: 5, Domain: 5, N: 300, Seed: 12}
+	tbl, err := CountAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if _, err := CountAblation(AblationConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	specs := Registry()
+	if len(specs) != 13 {
+		t.Fatalf("registry has %d experiments", len(specs))
+	}
+	seen := make(map[string]bool)
+	for _, s := range specs {
+		if s.Run == nil || s.ID == "" || s.Name == "" {
+			t.Fatalf("malformed spec %+v", s)
+		}
+		if seen[s.ID] || seen[s.Name] {
+			t.Fatalf("duplicate id/name %q/%q", s.ID, s.Name)
+		}
+		seen[s.ID] = true
+		seen[s.Name] = true
+	}
+	if _, err := Lookup("figure1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("E2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown lookup accepted")
+	}
+}
+
+func TestLosslessPlantedExperiment(t *testing.T) {
+	cfg := DefaultRandomTrials()
+	cfg.Trials = 10
+	tbl, err := LosslessPlanted(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0][3] != "0" {
+		t.Fatalf("planted failures: %v", tbl.Rows[0])
+	}
+}
+
+func TestSection5Experiment(t *testing.T) {
+	cfg := Section5Config{
+		Cases: []struct{ DA, DB, Eta int }{{16, 8, 32}},
+		Seed:  1,
+	}
+	tbl, err := Section5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	eqErr, _ := strconv.ParseFloat(tbl.Rows[0][3], 64)
+	if eqErr > 1e-9 {
+		t.Fatalf("Eq.112 error = %v", eqErr)
+	}
+	ratio, _ := strconv.ParseFloat(tbl.Rows[0][4], 64)
+	bound, _ := strconv.ParseFloat(tbl.Rows[0][5], 64)
+	if ratio > bound {
+		t.Fatalf("Lemma B.4 violated: %v > %v", ratio, bound)
+	}
+	bad := Section5Config{Cases: []struct{ DA, DB, Eta int }{{0, 0, 0}}}
+	if _, err := Section5(bad); err == nil {
+		t.Fatal("invalid case accepted")
+	}
+}
+
+func TestCompressionExperiment(t *testing.T) {
+	cfg := DefaultCompression()
+	cfg.Noise = []int{0}
+	cfg.Thresholds = []float64{1e-9}
+	tbl, err := Compression(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Exact threshold on noiseless planted data: rho = 0, compression > 1.
+	compression, _ := strconv.ParseFloat(tbl.Rows[0][5], 64)
+	rho, _ := strconv.ParseFloat(tbl.Rows[0][7], 64)
+	if rho != 0 {
+		t.Fatalf("rho = %v on exact noiseless discovery", rho)
+	}
+	if compression <= 1 {
+		t.Fatalf("compression = %v", compression)
+	}
+	if _, err := Compression(CompressionConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestFigure1SweepExperiment(t *testing.T) {
+	cfg := Figure1Config{Ds: []int{30, 60}, Seeds: 2, Seed: 3}
+	tbl, err := Figure1Sweep(cfg, []float64{0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Within each rho block the gap shrinks with d.
+	for block := 0; block < 2; block++ {
+		g0, _ := strconv.ParseFloat(tbl.Rows[2*block][5], 64)
+		g1, _ := strconv.ParseFloat(tbl.Rows[2*block+1][5], 64)
+		if !(g1 < g0) {
+			t.Fatalf("gap did not shrink in block %d: %v -> %v", block, g0, g1)
+		}
+	}
+}
+
+func TestUpperBoundTable(t *testing.T) {
+	tbl, err := UpperBound([]UpperBoundConfig{
+		{DA: 12, DB: 12, DC: 1, N: 100, Delta: 0.05, Trials: 5, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if _, err := UpperBound([]UpperBoundConfig{{}}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

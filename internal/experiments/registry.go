@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec names a runnable experiment and its DESIGN.md id.
+type Spec struct {
+	ID, Name, Description string
+	Run                   func() (*Table, error)
+}
+
+// Registry returns every experiment with its default configuration, in id
+// order. cmd/figures and the benchmark harness both iterate this list, so
+// the set of regenerable artifacts lives in exactly one place.
+func Registry() []Spec {
+	specs := []Spec{
+		{
+			ID: "E1", Name: "figure1",
+			Description: "Figure 1: MI vs log(1+rho), dC=1, dA=dB=d, rho=0.1",
+			Run:         func() (*Table, error) { return Figure1(DefaultFigure1()) },
+		},
+		{
+			ID: "E11", Name: "section5",
+			Description: "Section 5 proof machinery: Eq.112 identity, Lemma B.4, Prop 5.4",
+			Run:         func() (*Table, error) { return Section5(DefaultSection5()) },
+		},
+		{
+			ID: "E12", Name: "compression",
+			Description: "Compression vs loss trade-off of dissected schemas",
+			Run:         func() (*Table, error) { return Compression(DefaultCompression()) },
+		},
+		{
+			ID: "E2", Name: "tightness",
+			Description: "Example 4.1 tightness of the Lemma 4.1 lower bound",
+			Run: func() (*Table, error) {
+				return Tightness([]int{2, 4, 8, 16, 64, 256, 1024, 4096})
+			},
+		},
+		{
+			ID: "E2b", Name: "planted",
+			Description: "Planted lossless AJDs: J and rho vanish together (Theorem 2.1)",
+			Run: func() (*Table, error) {
+				cfg := DefaultRandomTrials()
+				cfg.Trials = 50
+				return LosslessPlanted(cfg)
+			},
+		},
+		{
+			ID: "E3", Name: "lowerbound",
+			Description: "Lemma 4.1 validity on random relations and schemas",
+			Run:         func() (*Table, error) { return LowerBound(DefaultRandomTrials()) },
+		},
+		{
+			ID: "E4", Name: "sandwich",
+			Description: "Theorem 2.2 sandwich on random trees",
+			Run:         func() (*Table, error) { return Sandwich(DefaultRandomTrials()) },
+		},
+		{
+			ID: "E5", Name: "mvddecomp",
+			Description: "Proposition 5.1 per-MVD loss decomposition",
+			Run:         func() (*Table, error) { return MVDDecomposition(DefaultRandomTrials()) },
+		},
+		{
+			ID: "E6", Name: "upperbound",
+			Description: "Theorem 5.1 high-probability upper bound coverage",
+			Run:         func() (*Table, error) { return UpperBound(DefaultUpperBoundConfigs()) },
+		},
+		{
+			ID: "E7", Name: "entropy",
+			Description: "Theorem 5.2 / Prop 5.4 entropy deficit",
+			Run:         func() (*Table, error) { return EntropyConfidence(DefaultEntropyConfidenceConfigs()) },
+		},
+		{
+			ID: "E8", Name: "figure1x",
+			Description: "Figure 1 extension across rho",
+			Run: func() (*Table, error) {
+				cfg := DefaultFigure1()
+				cfg.Ds = []int{100, 200, 400, 800}
+				cfg.Seeds = 2
+				return Figure1Sweep(cfg, []float64{0.05, 0.1, 0.2, 0.5})
+			},
+		},
+		{
+			ID: "E9", Name: "discovery",
+			Description: "Planted-MVD schema discovery: J vs measured loss",
+			Run:         func() (*Table, error) { return Discovery(DefaultDiscovery()) },
+		},
+		{
+			ID: "E10", Name: "countablation",
+			Description: "Counting vs materializing the acyclic join",
+			Run:         func() (*Table, error) { return CountAblation(DefaultAblation()) },
+		},
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].ID < specs[j].ID })
+	return specs
+}
+
+// Lookup finds an experiment by id or name.
+func Lookup(key string) (Spec, error) {
+	for _, s := range Registry() {
+		if s.ID == key || s.Name == key {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("experiments: unknown experiment %q", key)
+}

@@ -1,0 +1,132 @@
+package fd
+
+import (
+	"sort"
+	"strings"
+
+	"ajdloss/internal/relation"
+)
+
+// DiscoverConfig controls levelwise FD discovery.
+type DiscoverConfig struct {
+	// MaxLHS caps the determinant size (default 2 when 0).
+	MaxLHS int
+	// MaxG3 admits approximate FDs with g₃ error up to this value
+	// (0 = exact FDs only).
+	MaxG3 float64
+}
+
+// Discovered is an FD found by Discover with its error measures.
+type Discovered struct {
+	FD FD
+	G3 float64 // fraction of tuples violating the FD (0 = exact)
+	H  float64 // H(Y|X) in nats (0 = exact), Lee's measure
+}
+
+// Discover performs a levelwise (TANE-style, simplified) search for minimal
+// FDs X → A with |X| ≤ MaxLHS and g₃ ≤ MaxG3 over all single-attribute
+// dependents A. Minimality: X → A is reported only if no proper subset of X
+// determines A within the error budget. Results are sorted by (|X|, g₃,
+// text).
+func Discover(r *relation.Relation, cfg DiscoverConfig) ([]Discovered, error) {
+	maxLHS := cfg.MaxLHS
+	if maxLHS <= 0 {
+		maxLHS = 2
+	}
+	attrs := append([]string(nil), r.Attrs()...)
+	sort.Strings(attrs)
+	if maxLHS >= len(attrs) {
+		maxLHS = len(attrs) - 1
+	}
+
+	// found[A] holds the minimal determinants discovered for A so far.
+	found := make(map[string][][]string)
+	covered := func(a string, x []string) bool {
+		for _, det := range found[a] {
+			if subsetOf(det, x) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Discovered
+	consider := func(x []string, a string) error {
+		if covered(a, x) {
+			return nil
+		}
+		f := FD{X: x, Y: []string{a}}
+		g3, err := G3Error(r, f)
+		if err != nil {
+			return err
+		}
+		if g3 <= cfg.MaxG3 {
+			h, err := ConditionalEntropy(r, f)
+			if err != nil {
+				return err
+			}
+			found[a] = append(found[a], append([]string(nil), x...))
+			out = append(out, Discovered{FD: f, G3: g3, H: h})
+		}
+		return nil
+	}
+
+	// Level 0: constants (∅ → A).
+	for _, a := range attrs {
+		if err := consider(nil, a); err != nil {
+			return nil, err
+		}
+	}
+	// Levels 1..maxLHS.
+	var level [][]string
+	for _, a := range attrs {
+		level = append(level, []string{a})
+	}
+	for size := 1; size <= maxLHS && len(level) > 0; size++ {
+		for _, x := range level {
+			inX := make(map[string]bool, len(x))
+			for _, a := range x {
+				inX[a] = true
+			}
+			for _, a := range attrs {
+				if inX[a] {
+					continue
+				}
+				if err := consider(x, a); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var next [][]string
+		for _, x := range level {
+			last := x[len(x)-1]
+			for _, a := range attrs {
+				if a > last {
+					next = append(next, append(append([]string(nil), x...), a))
+				}
+			}
+		}
+		level = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].FD.X) != len(out[j].FD.X) {
+			return len(out[i].FD.X) < len(out[j].FD.X)
+		}
+		if out[i].G3 != out[j].G3 {
+			return out[i].G3 < out[j].G3
+		}
+		return out[i].FD.String() < out[j].FD.String()
+	})
+	return out, nil
+}
+
+// Canonical returns a canonical text form for a discovered FD list, used by
+// golden tests and tools.
+func Canonical(ds []Discovered) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.FD.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,288 @@
+// Package fd implements functional dependencies — the simplest data
+// dependencies the paper's hierarchy builds on (FDs ⊂ MVDs ⊂ JDs, Section
+// 1), together with Lee's information-theoretic characterization (An
+// Information-Theoretic Analysis of Relational Databases, Part I):
+// R ⊨ X → Y iff H(Y|X) = 0 under R's empirical distribution.
+//
+// The package provides exact and approximate satisfaction checks (the g₃
+// error measure), Armstrong closure, candidate-key search, levelwise FD
+// discovery, and the classical FD→MVD weakening that links this layer to the
+// paper's AJD machinery.
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ajdloss/internal/infotheory"
+	"ajdloss/internal/jointree"
+	"ajdloss/internal/relation"
+)
+
+// FD is a functional dependency X → Y.
+type FD struct {
+	X []string // determinant (may be empty: ∅ → Y means Y is constant)
+	Y []string // dependent
+}
+
+// String renders the FD as "X -> Y".
+func (f FD) String() string {
+	j := func(a []string) string {
+		s := append([]string(nil), a...)
+		sort.Strings(s)
+		if len(s) == 0 {
+			return "∅"
+		}
+		return strings.Join(s, ",")
+	}
+	return fmt.Sprintf("%s -> %s", j(f.X), j(f.Y))
+}
+
+// Holds reports whether R ⊨ X → Y: every X-value determines a single
+// Y-value. Equivalently the projections onto X and X∪Y have the same number
+// of distinct rows.
+func Holds(r *relation.Relation, f FD) (bool, error) {
+	if len(f.Y) == 0 {
+		return true, nil // trivial
+	}
+	xCounts, err := r.ProjectCounts(f.X...)
+	if err != nil {
+		return false, err
+	}
+	xyCounts, err := r.ProjectCounts(infotheory.Union(f.X, f.Y)...)
+	if err != nil {
+		return false, err
+	}
+	nx := len(xCounts)
+	if len(f.X) == 0 {
+		nx = 1
+	}
+	return len(xyCounts) == nx, nil
+}
+
+// ConditionalEntropy returns H(Y|X) in nats — Lee's characterization:
+// R ⊨ X → Y iff the value is 0.
+func ConditionalEntropy(r *relation.Relation, f FD) (float64, error) {
+	return infotheory.ConditionalEntropy(r, f.Y, f.X)
+}
+
+// G3Error returns the g₃ measure of the FD: the minimum fraction of tuples
+// that must be removed from R for X → Y to hold. 0 iff the FD holds.
+func G3Error(r *relation.Relation, f FD) (float64, error) {
+	if r.N() == 0 {
+		return 0, fmt.Errorf("fd: g3 of an empty relation is undefined")
+	}
+	if len(f.Y) == 0 {
+		return 0, nil
+	}
+	xy := infotheory.Union(f.X, f.Y)
+	xyCounts, err := r.ProjectCounts(xy...)
+	if err != nil {
+		return 0, err
+	}
+	// For each X-group keep the most frequent Y-value.
+	xCols := r.MustColumns(f.X)
+	best := make(map[string]int) // X-key -> max XY multiplicity
+	buf := make(relation.Tuple, len(xCols))
+	seen := make(map[string]struct{}, len(xyCounts))
+	for _, t := range r.Rows() {
+		xyKey := projectKey(t, r.MustColumns(xy))
+		if _, done := seen[xyKey]; done {
+			continue
+		}
+		seen[xyKey] = struct{}{}
+		c := xyCounts[xyKey]
+		for i, col := range xCols {
+			buf[i] = t[col]
+		}
+		xKey := relation.RowKey(buf)
+		if c > best[xKey] {
+			best[xKey] = c
+		}
+	}
+	keep := 0
+	for _, c := range best {
+		keep += c
+	}
+	return float64(r.N()-keep) / float64(r.N()), nil
+}
+
+func projectKey(t relation.Tuple, cols []int) string {
+	buf := make(relation.Tuple, len(cols))
+	for i, c := range cols {
+		buf[i] = t[c]
+	}
+	return relation.RowKey(buf)
+}
+
+// Closure returns the attribute closure X⁺ under the given FDs (Armstrong
+// axioms fixpoint).
+func Closure(x []string, fds []FD) []string {
+	in := make(map[string]bool, len(x))
+	var out []string
+	add := func(a string) {
+		if !in[a] {
+			in[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, a := range x {
+		add(a)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fds {
+			applies := true
+			for _, a := range f.X {
+				if !in[a] {
+					applies = false
+					break
+				}
+			}
+			if !applies {
+				continue
+			}
+			for _, a := range f.Y {
+				if !in[a] {
+					add(a)
+					changed = true
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Implies reports whether the FD set logically implies f (via closure).
+func Implies(fds []FD, f FD) bool {
+	cl := Closure(f.X, fds)
+	in := make(map[string]bool, len(cl))
+	for _, a := range cl {
+		in[a] = true
+	}
+	for _, a := range f.Y {
+		if !in[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSuperkey reports whether X determines every attribute of r.
+func IsSuperkey(r *relation.Relation, x []string) (bool, error) {
+	if len(x) == 0 {
+		return r.N() <= 1, nil
+	}
+	counts, err := r.ProjectCounts(x...)
+	if err != nil {
+		return false, err
+	}
+	return len(counts) == r.N(), nil
+}
+
+// CandidateKeys returns the minimal keys of r (attribute sets that determine
+// all attributes, no proper subset of which does), via a levelwise search
+// with superset pruning. maxSize caps the key size searched (≤ 0 means no
+// cap, i.e. up to the arity).
+func CandidateKeys(r *relation.Relation, maxSize int) ([][]string, error) {
+	attrs := append([]string(nil), r.Attrs()...)
+	sort.Strings(attrs)
+	n := len(attrs)
+	if maxSize <= 0 || maxSize > n {
+		maxSize = n
+	}
+	var keys [][]string
+	isMinimal := func(set []string) bool {
+		for _, k := range keys {
+			if subsetOf(k, set) {
+				return false
+			}
+		}
+		return true
+	}
+	// Levelwise over subset sizes.
+	var level [][]string
+	for _, a := range attrs {
+		level = append(level, []string{a})
+	}
+	for size := 1; size <= maxSize && len(level) > 0; size++ {
+		var next [][]string
+		for _, set := range level {
+			if !isMinimal(set) {
+				continue
+			}
+			ok, err := IsSuperkey(r, set)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keys = append(keys, set)
+				continue
+			}
+			// Extend with attributes after the set's last element.
+			last := set[len(set)-1]
+			for _, a := range attrs {
+				if a > last {
+					ext := append(append([]string(nil), set...), a)
+					next = append(next, ext)
+				}
+			}
+		}
+		level = next
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) < len(keys[j])
+		}
+		return strings.Join(keys[i], ",") < strings.Join(keys[j], ",")
+	})
+	return keys, nil
+}
+
+func subsetOf(a, b []string) bool {
+	in := make(map[string]bool, len(b))
+	for _, x := range b {
+		in[x] = true
+	}
+	for _, x := range a {
+		if !in[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// ToMVD weakens the FD X → Y into the MVD X ↠ Y | rest over the attribute
+// universe attrs: every FD is an MVD (Fagin 1977), so a satisfied FD yields
+// a lossless two-bag schema {XY, X(Ω\Y)}.
+func ToMVD(f FD, attrs []string) (jointree.MVD, error) {
+	inX := make(map[string]bool, len(f.X))
+	for _, a := range f.X {
+		inX[a] = true
+	}
+	inY := make(map[string]bool, len(f.Y))
+	for _, a := range f.Y {
+		if inX[a] {
+			continue
+		}
+		inY[a] = true
+	}
+	var rest []string
+	for _, a := range attrs {
+		if !inX[a] && !inY[a] {
+			rest = append(rest, a)
+		}
+	}
+	if len(inY) == 0 || len(rest) == 0 {
+		return jointree.MVD{}, fmt.Errorf("fd: FD %v yields a degenerate MVD over %v", f, attrs)
+	}
+	var ys []string
+	for _, a := range attrs {
+		if inY[a] {
+			ys = append(ys, a)
+		}
+	}
+	return jointree.MVD{X: append([]string(nil), f.X...), Y: ys, Z: rest}, nil
+}

@@ -1,0 +1,300 @@
+// Package infotheory implements the information-theoretic measures the paper
+// builds on: entropies of empirical distributions of relation projections,
+// conditional mutual information, KL divergence, and functional entropy.
+//
+// All measures are returned in nats (natural log). Figure 1 of the paper is
+// plotted in nats (its asymptote is ln(1.1) ≈ 0.0953 for ρ = 0.1); use Bits
+// to convert where binary units are preferred.
+package infotheory
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source is anything that exposes an empirical distribution over named
+// attributes: a relation instance (uniform over its tuples) or a multiset
+// (probability proportional to multiplicity), per the paper's Section 2.2
+// definition. N is the total number of tuples counted with multiplicity;
+// ProjectCounts returns the multiset projection onto attrs keyed by encoded
+// rows.
+type Source interface {
+	N() int
+	ProjectCounts(attrs ...string) (map[string]int, error)
+}
+
+// Bits converts a value in nats to bits.
+func Bits(nats float64) float64 { return nats / math.Ln2 }
+
+// Nats converts a value in bits to nats.
+func Nats(bits float64) float64 { return bits * math.Ln2 }
+
+// EntropyFromCounts returns the entropy (nats) of the distribution that
+// assigns probability c/total to each count c. It returns 0 for an empty
+// input. total must equal the sum of counts; it is passed in because callers
+// always know it (the relation size N).
+func EntropyFromCounts(counts map[string]int, total int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	// H = log N − (1/N) Σ c·log c, numerically stable for uniform-ish counts.
+	var s float64
+	for _, c := range counts {
+		if c > 1 {
+			fc := float64(c)
+			s += fc * math.Log(fc)
+		}
+	}
+	return math.Log(float64(total)) - s/float64(total)
+}
+
+// Entropy returns H(attrs) (nats) under the empirical distribution of r:
+// the entropy of the multiset projection of r onto attrs. For attrs equal to
+// the full schema of a (set-valued) relation this is log N.
+func Entropy(r Source, attrs ...string) (float64, error) {
+	if len(attrs) == 0 {
+		// H(∅) = 0: the empty projection is a single constant outcome.
+		return 0, nil
+	}
+	counts, err := r.ProjectCounts(attrs...)
+	if err != nil {
+		return 0, err
+	}
+	return EntropyFromCounts(counts, r.N()), nil
+}
+
+// MustEntropy is Entropy but panics on unknown attributes.
+func MustEntropy(r Source, attrs ...string) float64 {
+	h, err := Entropy(r, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// union returns the concatenation of attribute lists with duplicates
+// removed, preserving first-occurrence order (the paper's XY notation).
+func union(lists ...[]string) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, l := range lists {
+		for _, a := range l {
+			if _, ok := seen[a]; !ok {
+				seen[a] = struct{}{}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// Union exposes attribute-list union for callers assembling bag unions.
+func Union(lists ...[]string) []string { return union(lists...) }
+
+// ConditionalEntropy returns H(A | B) = H(AB) − H(B) in nats.
+func ConditionalEntropy(r Source, a, b []string) (float64, error) {
+	hab, err := Entropy(r, union(a, b)...)
+	if err != nil {
+		return 0, err
+	}
+	hb, err := Entropy(r, b...)
+	if err != nil {
+		return 0, err
+	}
+	return hab - hb, nil
+}
+
+// MutualInformation returns I(A;B) = H(A) + H(B) − H(AB) in nats.
+func MutualInformation(r Source, a, b []string) (float64, error) {
+	return ConditionalMutualInformation(r, a, b, nil)
+}
+
+// ConditionalMutualInformation returns I(A;B|C) per Eq. (4) of the paper:
+// I(A;B|C) = H(BC) + H(AC) − H(ABC) − H(C), in nats.
+//
+// Overlapping attribute sets are permitted; by the chain rule (footnote 1)
+// I(A;B|C) = I(A\C; B\C | C), and shared attributes between A and B beyond C
+// make the value grow with their entropy, exactly as the entropy formula
+// dictates.
+func ConditionalMutualInformation(r Source, a, b, c []string) (float64, error) {
+	hbc, err := Entropy(r, union(b, c)...)
+	if err != nil {
+		return 0, err
+	}
+	hac, err := Entropy(r, union(a, c)...)
+	if err != nil {
+		return 0, err
+	}
+	habc, err := Entropy(r, union(a, b, c)...)
+	if err != nil {
+		return 0, err
+	}
+	hc, err := Entropy(r, c...)
+	if err != nil {
+		return 0, err
+	}
+	v := hbc + hac - habc - hc
+	// Clamp tiny negative floating-point residue: CMI is non-negative.
+	if v < 0 && v > -1e-9 {
+		v = 0
+	}
+	return v, nil
+}
+
+// MustCMI is ConditionalMutualInformation but panics on error.
+func MustCMI(r Source, a, b, c []string) float64 {
+	v, err := ConditionalMutualInformation(r, a, b, c)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Dist is a finite probability distribution keyed by outcome identity.
+type Dist map[string]float64
+
+// Validate checks that d sums to 1 within tol and has no negative masses.
+func (d Dist) Validate(tol float64) error {
+	var sum float64
+	for k, p := range d {
+		if p < 0 {
+			return fmt.Errorf("infotheory: negative probability %g for outcome %q", p, k)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > tol {
+		return fmt.Errorf("infotheory: distribution sums to %g, want 1 ± %g", sum, tol)
+	}
+	return nil
+}
+
+// Entropy returns the Shannon entropy of d in nats.
+func (d Dist) Entropy() float64 {
+	var h float64
+	for _, p := range d {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// KLDivergence returns D(p‖q) in nats. It returns +Inf if p has mass where q
+// has none, and an error if an outcome of p with positive mass is absent
+// from q's support map entirely (treated the same as q(x)=0).
+func KLDivergence(p, q Dist) float64 {
+	var d float64
+	for x, px := range p {
+		if px <= 0 {
+			continue
+		}
+		qx := q[x]
+		if qx <= 0 {
+			return math.Inf(1)
+		}
+		d += px * math.Log(px/qx)
+	}
+	// D(p‖q) ≥ 0; clamp floating-point residue.
+	if d < 0 && d > -1e-9 {
+		d = 0
+	}
+	return d
+}
+
+// EmpiricalDist returns the empirical distribution of r restricted to attrs
+// (marginal), keyed by encoded projected rows.
+func EmpiricalDist(r Source, attrs ...string) (Dist, error) {
+	counts, err := r.ProjectCounts(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(r.N())
+	d := make(Dist, len(counts))
+	for k, c := range counts {
+		d[k] = float64(c) / n
+	}
+	return d, nil
+}
+
+// FunctionalEntropy returns Ent(X) = E[X log X] − E[X]·log E[X] for the
+// non-negative sample values xs (Eq. 53 of the paper). Zero-valued samples
+// contribute 0 to E[X log X] (t·log t → 0 as t ↓ 0). It returns an error if
+// any sample is negative or the mean is zero.
+func FunctionalEntropy(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("infotheory: FunctionalEntropy of empty sample")
+	}
+	var sum, sumXLogX float64
+	for _, x := range xs {
+		if x < 0 {
+			return 0, fmt.Errorf("infotheory: FunctionalEntropy requires non-negative samples, got %g", x)
+		}
+		sum += x
+		if x > 0 {
+			sumXLogX += x * math.Log(x)
+		}
+	}
+	n := float64(len(xs))
+	mean := sum / n
+	if mean == 0 {
+		return 0, nil
+	}
+	return sumXLogX/n - mean*math.Log(mean), nil
+}
+
+// LogSumBound returns the two sides of the log sum inequality
+// Σ aᵢ·log(Σaᵢ/Σbᵢ) ≤ Σ aᵢ·log(aᵢ/bᵢ) (Lemma D.8), used in tests.
+// Entries with aᵢ = 0 contribute 0 to the right side.
+func LogSumBound(a, b []float64) (lhs, rhs float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, fmt.Errorf("infotheory: LogSumBound length mismatch %d vs %d", len(a), len(b))
+	}
+	var sa, sb float64
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			return 0, 0, fmt.Errorf("infotheory: LogSumBound requires non-negative entries")
+		}
+		sa += a[i]
+		sb += b[i]
+	}
+	if sa > 0 && sb == 0 {
+		return math.Inf(1), math.Inf(1), nil
+	}
+	if sa > 0 {
+		lhs = sa * math.Log(sa/sb)
+	}
+	for i := range a {
+		if a[i] == 0 {
+			continue
+		}
+		if b[i] == 0 {
+			rhs = math.Inf(1)
+			return lhs, rhs, nil
+		}
+		rhs += a[i] * math.Log(a[i]/b[i])
+	}
+	return lhs, rhs, nil
+}
+
+// TotalVariation returns TV(p, q) = (1/2)·Σ_x |p(x) − q(x)| over the union
+// of supports. For the empirical distribution P of a relation R and the
+// uniform distribution over the acyclic join R′ ⊇ R, TV = ρ/(1+ρ): the
+// spurious mass is exactly the transportation cost of the loss (tested
+// against the loss machinery).
+func TotalVariation(p, q Dist) float64 {
+	var tv float64
+	for x, px := range p {
+		qx := q[x]
+		if px > qx {
+			tv += px - qx
+		} else {
+			tv += qx - px
+		}
+	}
+	for x, qx := range q {
+		if _, seen := p[x]; !seen {
+			tv += qx
+		}
+	}
+	return tv / 2
+}

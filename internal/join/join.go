@@ -1,0 +1,252 @@
+// Package join implements the acyclic join machinery: projecting a relation
+// onto a schema's bags, materializing the acyclic join ⋈ᵢ R[Ωᵢ] in
+// join-tree order, the Yannakakis full reducer, and — crucially for the
+// paper's experiments — counting |⋈ᵢ R[Ωᵢ]| by junction-tree message
+// passing without materializing the join (the join of an acyclic schema can
+// be exponentially larger than its inputs; Figure 1 needs joins of size 10⁶
+// whose inputs have 10⁵ rows, and the count is all the loss measure needs).
+package join
+
+import (
+	"fmt"
+	"math"
+
+	"ajdloss/internal/jointree"
+	"ajdloss/internal/relation"
+)
+
+// Projections returns R[Ω₁],…,R[Ω_m] for the bags of the schema.
+func Projections(r *relation.Relation, s *jointree.Schema) ([]*relation.Relation, error) {
+	out := make([]*relation.Relation, s.Len())
+	for i, bag := range s.Bags() {
+		p, err := r.Project(bag...)
+		if err != nil {
+			return nil, fmt.Errorf("join: projecting bag %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// MaterializeTree computes ⋈ᵢ rels[i] where rels[i] is the relation placed
+// on bag i of the join tree. Joining in rooted DFS order guarantees each
+// intermediate shares its separator with the accumulated prefix, so no
+// unnecessary cross products arise (cross products still occur where the
+// tree has empty separators, as they must).
+func MaterializeTree(t *jointree.JoinTree, rels []*relation.Relation) (*relation.Relation, error) {
+	if len(rels) != t.Len() {
+		return nil, fmt.Errorf("join: %d relations for %d bags", len(rels), t.Len())
+	}
+	rooted, err := jointree.Root(t, 0)
+	if err != nil {
+		return nil, err
+	}
+	acc := rels[rooted.Order[0]]
+	for i := 1; i < len(rooted.Order); i++ {
+		acc = acc.NaturalJoin(rels[rooted.Order[i]])
+	}
+	return acc, nil
+}
+
+// AcyclicJoin projects r onto the schema's bags and materializes the acyclic
+// join using a GYO-constructed join tree.
+func AcyclicJoin(r *relation.Relation, s *jointree.Schema) (*relation.Relation, error) {
+	t, err := jointree.BuildJoinTree(s)
+	if err != nil {
+		return nil, err
+	}
+	rels, err := Projections(r, s)
+	if err != nil {
+		return nil, err
+	}
+	return MaterializeTree(t, rels)
+}
+
+// ErrOverflow is returned when a join cardinality exceeds int64.
+var ErrOverflow = fmt.Errorf("join: cardinality overflows int64")
+
+func mulCheck(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	c := a * b
+	if c/b != a || c < 0 {
+		return 0, ErrOverflow
+	}
+	return c, nil
+}
+
+func addCheck(a, b int64) (int64, error) {
+	c := a + b
+	if c < 0 {
+		return 0, ErrOverflow
+	}
+	return c, nil
+}
+
+// CountTree returns |⋈ᵢ rels[i]| over the join tree without materializing
+// the join, by bottom-up message passing: the message from a node to its
+// parent maps each separator value to the number of join extensions in the
+// node's subtree consistent with that value.
+func CountTree(t *jointree.JoinTree, rels []*relation.Relation) (int64, error) {
+	if len(rels) != t.Len() {
+		return 0, fmt.Errorf("join: %d relations for %d bags", len(rels), t.Len())
+	}
+	rooted, err := jointree.Root(t, 0)
+	if err != nil {
+		return 0, err
+	}
+	m := len(rooted.Order)
+	// children[pos] lists DFS positions of children of the node at pos.
+	children := make([][]int, m)
+	for i := 1; i < m; i++ {
+		p := rooted.Parent[i]
+		children[p] = append(children[p], i)
+	}
+	// messages[pos]: map from separator key (toward parent) to extension count.
+	messages := make([]map[string]int64, m)
+
+	// subtreeWeight computes, for each tuple of rel at DFS position pos, the
+	// product of child-message values, grouped by the tuple's key on keyAttrs.
+	aggregate := func(pos int, keyAttrs []string) (map[string]int64, error) {
+		bagIdx := rooted.Order[pos]
+		rel := rels[bagIdx]
+		keyCols := rel.MustColumns(keyAttrs)
+		childCols := make([][]int, len(children[pos]))
+		for k, c := range children[pos] {
+			childCols[k] = rel.MustColumns(rooted.Sep[c])
+		}
+		out := make(map[string]int64)
+		kbuf := make(relation.Tuple, len(keyCols))
+		for _, tup := range rel.Rows() {
+			w := int64(1)
+			ok := true
+			for k, c := range children[pos] {
+				cbuf := make(relation.Tuple, len(childCols[k]))
+				for j, col := range childCols[k] {
+					cbuf[j] = tup[col]
+				}
+				cw := messages[c][relation.RowKey(cbuf)]
+				if cw == 0 {
+					ok = false
+					break
+				}
+				var err error
+				if w, err = mulCheck(w, cw); err != nil {
+					return nil, err
+				}
+			}
+			if !ok {
+				continue
+			}
+			for j, col := range keyCols {
+				kbuf[j] = tup[col]
+			}
+			k := relation.RowKey(kbuf)
+			s, err := addCheck(out[k], w)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = s
+		}
+		return out, nil
+	}
+
+	// Process in reverse DFS order (leaves first).
+	for pos := m - 1; pos >= 1; pos-- {
+		msg, err := aggregate(pos, rooted.Sep[pos])
+		if err != nil {
+			return 0, err
+		}
+		messages[pos] = msg
+	}
+	rootAgg, err := aggregate(0, nil)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, w := range rootAgg {
+		if total, err = addCheck(total, w); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// CountAcyclicJoin projects r onto the schema's bags and counts the acyclic
+// join cardinality without materializing it.
+func CountAcyclicJoin(r *relation.Relation, s *jointree.Schema) (int64, error) {
+	t, err := jointree.BuildJoinTree(s)
+	if err != nil {
+		return 0, err
+	}
+	rels, err := Projections(r, s)
+	if err != nil {
+		return 0, err
+	}
+	return CountTree(t, rels)
+}
+
+// CountTreeFloat is CountTree in float64 arithmetic; it never overflows but
+// loses exactness above 2⁵³. Used for loss estimates of astronomically large
+// joins.
+func CountTreeFloat(t *jointree.JoinTree, rels []*relation.Relation) (float64, error) {
+	if len(rels) != t.Len() {
+		return 0, fmt.Errorf("join: %d relations for %d bags", len(rels), t.Len())
+	}
+	rooted, err := jointree.Root(t, 0)
+	if err != nil {
+		return 0, err
+	}
+	m := len(rooted.Order)
+	children := make([][]int, m)
+	for i := 1; i < m; i++ {
+		children[rooted.Parent[i]] = append(children[rooted.Parent[i]], i)
+	}
+	messages := make([]map[string]float64, m)
+	aggregate := func(pos int, keyAttrs []string) map[string]float64 {
+		rel := rels[rooted.Order[pos]]
+		keyCols := rel.MustColumns(keyAttrs)
+		childCols := make([][]int, len(children[pos]))
+		for k, c := range children[pos] {
+			childCols[k] = rel.MustColumns(rooted.Sep[c])
+		}
+		out := make(map[string]float64)
+		kbuf := make(relation.Tuple, len(keyCols))
+		for _, tup := range rel.Rows() {
+			w := 1.0
+			ok := true
+			for k, c := range children[pos] {
+				cbuf := make(relation.Tuple, len(childCols[k]))
+				for j, col := range childCols[k] {
+					cbuf[j] = tup[col]
+				}
+				cw := messages[c][relation.RowKey(cbuf)]
+				if cw == 0 {
+					ok = false
+					break
+				}
+				w *= cw
+			}
+			if !ok {
+				continue
+			}
+			for j, col := range keyCols {
+				kbuf[j] = tup[col]
+			}
+			out[relation.RowKey(kbuf)] += w
+		}
+		return out
+	}
+	for pos := m - 1; pos >= 1; pos-- {
+		messages[pos] = aggregate(pos, rooted.Sep[pos])
+	}
+	var total float64
+	for _, w := range aggregate(0, nil) {
+		total += w
+	}
+	if math.IsInf(total, 0) || math.IsNaN(total) {
+		return 0, fmt.Errorf("join: float64 cardinality not finite")
+	}
+	return total, nil
+}

@@ -1,0 +1,333 @@
+package join
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"ajdloss/internal/jointree"
+	"ajdloss/internal/relation"
+)
+
+// diagonal builds the Example 4.1 relation {(i,i)}.
+func diagonal(n int) *relation.Relation {
+	r := relation.New("A", "B")
+	for i := 1; i <= n; i++ {
+		r.Insert(relation.Tuple{relation.Value(i), relation.Value(i)})
+	}
+	return r
+}
+
+// randomJoinTree builds a random valid join tree: attributes are assigned to
+// connected subtrees, so the running intersection property holds by
+// construction. (Duplicated from schemagen to avoid an import cycle.)
+func randomJoinTree(rng *rand.Rand, m, nAttrs int) (*jointree.JoinTree, error) {
+	edges := make([][2]int, 0, m-1)
+	adj := make([][]int, m)
+	for i := 1; i < m; i++ {
+		p := rng.IntN(i)
+		edges = append(edges, [2]int{p, i})
+		adj[p] = append(adj[p], i)
+		adj[i] = append(adj[i], p)
+	}
+	bags := make([][]string, m)
+	for a := 0; a < nAttrs; a++ {
+		name := string(rune('A' + a))
+		start := a % m
+		in := map[int]bool{start: true}
+		stack := []int{start}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if !in[v] && rng.Float64() < 0.4 {
+					in[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		for node := range in {
+			bags[node] = append(bags[node], name)
+		}
+	}
+	return jointree.NewJoinTree(bags, edges)
+}
+
+func randomRelation(rng *rand.Rand, attrs []string, domain, n int) *relation.Relation {
+	r := relation.New(attrs...)
+	row := make(relation.Tuple, len(attrs))
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = relation.Value(rng.IntN(domain) + 1)
+		}
+		r.Insert(row)
+	}
+	return r
+}
+
+func chainTree(t *testing.T) *jointree.JoinTree {
+	t.Helper()
+	return jointree.MustJoinTree(
+		[][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}},
+		[][2]int{{0, 1}, {1, 2}},
+	)
+}
+
+func TestProjections(t *testing.T) {
+	r := relation.FromRows([]string{"A", "B", "C"}, []relation.Tuple{{1, 1, 1}, {1, 2, 2}})
+	s := jointree.MustSchema([]string{"A", "B"}, []string{"B", "C"})
+	ps, err := Projections(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].N() != 2 || ps[1].N() != 2 {
+		t.Fatalf("projections = %v", ps)
+	}
+	bad := jointree.MustSchema([]string{"Z"})
+	if _, err := Projections(r, bad); err == nil {
+		t.Fatal("unknown attribute did not error")
+	}
+}
+
+func TestAcyclicJoinLossless(t *testing.T) {
+	// A relation that satisfies the chain AJD exactly: built as a join.
+	ab := relation.FromRows([]string{"A", "B"}, []relation.Tuple{{1, 1}, {2, 2}})
+	bc := relation.FromRows([]string{"B", "C"}, []relation.Tuple{{1, 5}, {2, 6}})
+	r := ab.NaturalJoin(bc)
+	s := jointree.MustSchema([]string{"A", "B"}, []string{"B", "C"})
+	j, err := AcyclicJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.EqualUpToOrder(r) {
+		t.Fatal("lossless join changed the relation")
+	}
+	n, err := CountAcyclicJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(r.N()) {
+		t.Fatalf("count = %d, want %d", n, r.N())
+	}
+}
+
+func TestCountMatchesMaterializeChain(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	r := randomRelation(rng, []string{"A", "B", "C", "D"}, 3, 30)
+	tree := chainTree(t)
+	rels, err := Projections(r, tree.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := MaterializeTree(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := CountTree(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != int64(mat.N()) {
+		t.Fatalf("count %d != materialized %d", cnt, mat.N())
+	}
+	f, err := CountTreeFloat(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(f+0.5) != cnt {
+		t.Fatalf("float count %v != %d", f, cnt)
+	}
+}
+
+func TestCountCrossProduct(t *testing.T) {
+	// Example 4.1 schema: {{A},{B}} with empty separator.
+	r := diagonal(7)
+	s := jointree.MustSchema([]string{"A"}, []string{"B"})
+	n, err := CountAcyclicJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 49 {
+		t.Fatalf("cross count = %d, want 49", n)
+	}
+}
+
+func TestCountArityMismatch(t *testing.T) {
+	tree := chainTree(t)
+	if _, err := CountTree(tree, nil); err == nil {
+		t.Fatal("wrong relation count accepted")
+	}
+	if _, err := MaterializeTree(tree, nil); err == nil {
+		t.Fatal("wrong relation count accepted (materialize)")
+	}
+	if _, err := CountTreeFloat(tree, nil); err == nil {
+		t.Fatal("wrong relation count accepted (float)")
+	}
+}
+
+func TestCountOverflow(t *testing.T) {
+	// Star of k independent attributes each with large domains would
+	// overflow; verify detection using a deep cross product.
+	attrs := []string{"A", "B", "C", "D", "E", "F", "G"}
+	bags := make([][]string, len(attrs))
+	r := relation.New(attrs...)
+	row := make(relation.Tuple, len(attrs))
+	// 1000 tuples, each attribute with ~1000 distinct values: the full
+	// cross product is 1000^7 = 10^21 > MaxInt64.
+	for i := 0; i < 1000; i++ {
+		for j := range row {
+			row[j] = relation.Value(i + j*1000)
+		}
+		r.Insert(row)
+	}
+	for i, a := range attrs {
+		bags[i] = []string{a}
+	}
+	s := jointree.MustSchema(bags...)
+	if _, err := CountAcyclicJoin(r, s); err == nil {
+		t.Fatal("overflow not detected")
+	}
+	// The float path copes.
+	tree, err := jointree.BuildJoinTree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels, err := Projections(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := CountTreeFloat(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1e21 {
+		t.Fatalf("float count = %g, want 1e21", f)
+	}
+}
+
+func TestFullReduceRemovesDanglers(t *testing.T) {
+	ab := relation.FromRows([]string{"A", "B"}, []relation.Tuple{{1, 1}, {2, 9}}) // (2,9) dangles
+	bc := relation.FromRows([]string{"B", "C"}, []relation.Tuple{{1, 5}, {7, 6}}) // (7,6) dangles
+	tree := jointree.MustJoinTree([][]string{{"A", "B"}, {"B", "C"}}, [][2]int{{0, 1}})
+	reduced, err := FullReduce(tree, []*relation.Relation{ab, bc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced[0].N() != 1 || reduced[1].N() != 1 {
+		t.Fatalf("reduction left %d/%d tuples", reduced[0].N(), reduced[1].N())
+	}
+	// Inputs untouched.
+	if ab.N() != 2 || bc.N() != 2 {
+		t.Fatal("FullReduce mutated inputs")
+	}
+	consistent, err := GloballyConsistent(tree, []*relation.Relation{ab, bc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consistent {
+		t.Fatal("dangling inputs reported consistent")
+	}
+}
+
+func TestYannakakisEqualsMaterialize(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	tree := chainTree(t)
+	rels := []*relation.Relation{
+		randomRelation(rng, []string{"A", "B"}, 4, 15),
+		randomRelation(rng, []string{"B", "C"}, 4, 15),
+		randomRelation(rng, []string{"C", "D"}, 4, 15),
+	}
+	y, err := YannakakisJoin(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MaterializeTree(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y.EqualUpToOrder(m) {
+		t.Fatal("Yannakakis join differs from direct materialization")
+	}
+}
+
+func TestProjectionsGloballyConsistent(t *testing.T) {
+	// Beeri et al.: projections of any relation onto an acyclic schema are
+	// globally consistent — the full reducer must be a no-op.
+	rng := rand.New(rand.NewPCG(21, 22))
+	r := randomRelation(rng, []string{"A", "B", "C", "D"}, 3, 40)
+	tree := chainTree(t)
+	rels, err := Projections(r, tree.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := GloballyConsistent(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("projections of a relation reported inconsistent")
+	}
+}
+
+func TestQuickCountEqualsMaterialize(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 41))
+		tree, err := randomJoinTree(rng, 2+rng.IntN(4), 6+rng.IntN(3))
+		if err != nil {
+			return false
+		}
+		attrs := tree.Attrs()
+		r := randomRelation(rng, attrs, 3, 1+rng.IntN(40))
+		rels, err := Projections(r, tree.Schema())
+		if err != nil {
+			return false
+		}
+		mat, err := MaterializeTree(tree, rels)
+		if err != nil {
+			return false
+		}
+		cnt, err := CountTree(tree, rels)
+		if err != nil {
+			return false
+		}
+		if cnt != int64(mat.N()) {
+			return false
+		}
+		// R must always be contained in the join of its projections.
+		return r.SubsetOf(mat) || mat.N() < r.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickYannakakisAgreesOnArbitraryInputs(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 43))
+		tree := jointree.MustJoinTree(
+			[][]string{{"A", "B"}, {"B", "C"}, {"B", "D"}},
+			[][2]int{{0, 1}, {0, 2}},
+		)
+		rels := []*relation.Relation{
+			randomRelation(rng, []string{"A", "B"}, 3, 1+rng.IntN(15)),
+			randomRelation(rng, []string{"B", "C"}, 3, 1+rng.IntN(15)),
+			randomRelation(rng, []string{"B", "D"}, 3, 1+rng.IntN(15)),
+		}
+		y, err := YannakakisJoin(tree, rels)
+		if err != nil {
+			return false
+		}
+		m, err := MaterializeTree(tree, rels)
+		if err != nil {
+			return false
+		}
+		cnt, err := CountTree(tree, rels)
+		if err != nil {
+			return false
+		}
+		return y.EqualUpToOrder(m) && cnt == int64(m.N())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

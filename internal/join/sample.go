@@ -1,0 +1,215 @@
+package join
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"ajdloss/internal/jointree"
+	"ajdloss/internal/relation"
+)
+
+// Sampler draws uniform random tuples from an acyclic join ⋈ᵢ rels[i]
+// without materializing it, by inverting the counting dynamic program: the
+// root tuple is drawn with probability proportional to its number of join
+// extensions, then each child tuple is drawn conditionally on the separator
+// value, top-down. Building the sampler costs the same as CountTree; each
+// sample then costs O(Σ bag arity) map lookups plus one weighted choice per
+// bag.
+//
+// Together with the loss machinery this answers "show me some spurious
+// tuples" for joins far too large to enumerate (e.g. Figure 1 at d = 1000,
+// join size 10⁶ from inputs of 9·10⁵).
+type Sampler struct {
+	rooted *jointree.Rooted
+	rels   []*relation.Relation // by DFS position
+	attrs  []string             // output attribute order (union, DFS-first)
+	// children[pos] lists DFS child positions.
+	children [][]int
+	// weights[pos][i] is the number of join extensions of tuple i of the
+	// relation at DFS position pos into pos's subtree.
+	weights [][]int64
+	// buckets[pos] groups tuple indexes of position pos by separator key
+	// (toward the parent); buckets[0] has a single "" bucket.
+	buckets []map[string][]int32
+	// totals[pos][sepKey] is the summed weight of a bucket.
+	totals []map[string]int64
+	total  int64
+}
+
+// NewSampler prepares uniform sampling from ⋈ᵢ rels[i] over the join tree.
+// It returns an error if the join is empty, overflows int64, or the inputs
+// mismatch the tree.
+func NewSampler(t *jointree.JoinTree, rels []*relation.Relation) (*Sampler, error) {
+	if len(rels) != t.Len() {
+		return nil, fmt.Errorf("join: %d relations for %d bags", len(rels), t.Len())
+	}
+	rooted, err := jointree.Root(t, 0)
+	if err != nil {
+		return nil, err
+	}
+	m := len(rooted.Order)
+	s := &Sampler{
+		rooted:   rooted,
+		rels:     make([]*relation.Relation, m),
+		children: make([][]int, m),
+		weights:  make([][]int64, m),
+		buckets:  make([]map[string][]int32, m),
+		totals:   make([]map[string]int64, m),
+	}
+	for pos := 0; pos < m; pos++ {
+		s.rels[pos] = rels[rooted.Order[pos]]
+	}
+	for i := 1; i < m; i++ {
+		p := rooted.Parent[i]
+		s.children[p] = append(s.children[p], i)
+	}
+	// Output attribute order: first occurrence over DFS positions.
+	seen := make(map[string]bool)
+	for pos := 0; pos < m; pos++ {
+		for _, a := range rooted.Bag(pos) {
+			if !seen[a] {
+				seen[a] = true
+				s.attrs = append(s.attrs, a)
+			}
+		}
+	}
+	// Bottom-up weights, as in CountTree but retained per tuple.
+	for pos := m - 1; pos >= 0; pos-- {
+		rel := s.rels[pos]
+		childCols := make([][]int, len(s.children[pos]))
+		for k, c := range s.children[pos] {
+			childCols[k] = rel.MustColumns(rooted.Sep[c])
+		}
+		var sepCols []int
+		if pos > 0 {
+			sepCols = rel.MustColumns(rooted.Sep[pos])
+		}
+		weights := make([]int64, rel.N())
+		buckets := make(map[string][]int32)
+		totals := make(map[string]int64)
+		for i, tup := range rel.Rows() {
+			w := int64(1)
+			for k, c := range s.children[pos] {
+				cw := s.totals[c][projectRowKey(tup, childCols[k])]
+				if cw == 0 {
+					w = 0
+					break
+				}
+				var err error
+				if w, err = mulCheck(w, cw); err != nil {
+					return nil, err
+				}
+			}
+			weights[i] = w
+			if w == 0 {
+				continue
+			}
+			key := ""
+			if pos > 0 {
+				key = projectRowKey(tup, sepCols)
+			}
+			buckets[key] = append(buckets[key], int32(i))
+			tot, err := addCheck(totals[key], w)
+			if err != nil {
+				return nil, err
+			}
+			totals[key] = tot
+		}
+		s.weights[pos] = weights
+		s.buckets[pos] = buckets
+		s.totals[pos] = totals
+	}
+	s.total = s.totals[0][""]
+	if s.total == 0 {
+		return nil, fmt.Errorf("join: cannot sample from an empty join")
+	}
+	return s, nil
+}
+
+func projectRowKey(t relation.Tuple, cols []int) string {
+	buf := make(relation.Tuple, len(cols))
+	for i, c := range cols {
+		buf[i] = t[c]
+	}
+	return relation.RowKey(buf)
+}
+
+// Attrs returns the attribute order of sampled tuples.
+func (s *Sampler) Attrs() []string { return s.attrs }
+
+// JoinSize returns |⋈ᵢ rels[i]|.
+func (s *Sampler) JoinSize() int64 { return s.total }
+
+// Sample draws one tuple uniformly from the join.
+func (s *Sampler) Sample(rng *rand.Rand) relation.Tuple {
+	out := make(relation.Tuple, len(s.attrs))
+	outPos := make(map[string]int, len(s.attrs))
+	for i, a := range s.attrs {
+		outPos[a] = i
+	}
+	s.sampleNode(rng, 0, "", out, outPos)
+	return out
+}
+
+// sampleNode picks a tuple of the relation at DFS position pos within the
+// given separator bucket, writes its values into out, and recurses.
+func (s *Sampler) sampleNode(rng *rand.Rand, pos int, key string, out relation.Tuple, outPos map[string]int) {
+	bucket := s.buckets[pos][key]
+	target := rng.Int64N(s.totals[pos][key])
+	var idx int32 = -1
+	for _, i := range bucket {
+		target -= s.weights[pos][i]
+		if target < 0 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// Unreachable: totals are exact sums of bucket weights.
+		idx = bucket[len(bucket)-1]
+	}
+	rel := s.rels[pos]
+	tup := rel.Row(int(idx))
+	for i, a := range rel.Attrs() {
+		out[outPos[a]] = tup[i]
+	}
+	for _, c := range s.children[pos] {
+		sepCols := rel.MustColumns(s.rooted.Sep[c])
+		s.sampleNode(rng, c, projectRowKey(tup, sepCols), out, outPos)
+	}
+}
+
+// SampleMany draws k tuples (with replacement, each uniform over the join).
+func (s *Sampler) SampleMany(rng *rand.Rand, k int) []relation.Tuple {
+	out := make([]relation.Tuple, k)
+	for i := range out {
+		out[i] = s.Sample(rng)
+	}
+	return out
+}
+
+// SampleSpurious draws up to k tuples uniform over the join and returns the
+// ones not contained in r (spurious under the schema that produced the
+// projections). The expected yield per draw is ρ/(1+ρ).
+func SampleSpurious(s *Sampler, r *relation.Relation, rng *rand.Rand, k int) []relation.Tuple {
+	cols := make([]int, 0, len(r.Attrs()))
+	pos := make(map[string]int, len(s.attrs))
+	for i, a := range s.attrs {
+		pos[a] = i
+	}
+	for _, a := range r.Attrs() {
+		cols = append(cols, pos[a])
+	}
+	var out []relation.Tuple
+	buf := make(relation.Tuple, len(cols))
+	for i := 0; i < k; i++ {
+		t := s.Sample(rng)
+		for j, c := range cols {
+			buf[j] = t[c]
+		}
+		if !r.Contains(buf) {
+			out = append(out, append(relation.Tuple(nil), t...))
+		}
+	}
+	return out
+}

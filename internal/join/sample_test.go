@@ -1,0 +1,195 @@
+package join
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"ajdloss/internal/jointree"
+	"ajdloss/internal/relation"
+)
+
+func TestSamplerMatchesJoinSupport(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	r := randomRelation(rng, []string{"A", "B", "C", "D"}, 3, 25)
+	tree := chainTree(t)
+	rels, err := Projections(r, tree.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := MaterializeTree(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.JoinSize() != int64(mat.N()) {
+		t.Fatalf("sampler size %d != join %d", s.JoinSize(), mat.N())
+	}
+	// Every sample is a member of the materialized join (after reordering).
+	cols := make([]int, len(mat.Attrs()))
+	pos := map[string]int{}
+	for i, a := range s.Attrs() {
+		pos[a] = i
+	}
+	for i, a := range mat.Attrs() {
+		cols[i] = pos[a]
+	}
+	buf := make(relation.Tuple, len(cols))
+	for i := 0; i < 200; i++ {
+		tup := s.Sample(rng)
+		for j, c := range cols {
+			buf[j] = tup[c]
+		}
+		if !mat.Contains(buf) {
+			t.Fatalf("sampled tuple %v not in join", tup)
+		}
+	}
+}
+
+func TestSamplerUniform(t *testing.T) {
+	// Small join with known size: frequencies must be near-uniform.
+	ab := relation.FromRows([]string{"A", "B"}, []relation.Tuple{{1, 1}, {2, 1}, {3, 2}})
+	bc := relation.FromRows([]string{"B", "C"}, []relation.Tuple{{1, 5}, {1, 6}, {2, 7}})
+	tree := jointree.MustJoinTree([][]string{{"A", "B"}, {"B", "C"}}, [][2]int{{0, 1}})
+	s, err := NewSampler(tree, []*relation.Relation{ab, bc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join: (1,1,5),(1,1,6),(2,1,5),(2,1,6),(3,2,7) — size 5.
+	if s.JoinSize() != 5 {
+		t.Fatalf("join size = %d, want 5", s.JoinSize())
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	const draws = 20000
+	counts := make(map[string]int)
+	for i := 0; i < draws; i++ {
+		counts[relation.RowKey(s.Sample(rng))]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("support = %d outcomes", len(counts))
+	}
+	want := float64(draws) / 5
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("outcome %q drawn %d times, want ≈ %.0f", k, c, want)
+		}
+	}
+}
+
+func TestSamplerEmptyJoin(t *testing.T) {
+	ab := relation.FromRows([]string{"A", "B"}, []relation.Tuple{{1, 1}})
+	bc := relation.FromRows([]string{"B", "C"}, []relation.Tuple{{2, 5}})
+	tree := jointree.MustJoinTree([][]string{{"A", "B"}, {"B", "C"}}, [][2]int{{0, 1}})
+	if _, err := NewSampler(tree, []*relation.Relation{ab, bc}); err == nil {
+		t.Fatal("empty join sampler did not error")
+	}
+	if _, err := NewSampler(tree, nil); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestSampleSpurious(t *testing.T) {
+	// Diagonal relation, independence schema: every off-diagonal tuple is
+	// spurious.
+	r := diagonal(10)
+	schema := jointree.MustSchema([]string{"A"}, []string{"B"})
+	tree, err := jointree.BuildJoinTree(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels, err := Projections(r, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	sp := SampleSpurious(s, r, rng, 500)
+	// ρ/(1+ρ) = 90/100: expect ≈450 spurious among 500.
+	if len(sp) < 400 {
+		t.Fatalf("only %d/500 spurious draws", len(sp))
+	}
+	pos := map[string]int{}
+	for i, a := range s.Attrs() {
+		pos[a] = i
+	}
+	for _, tup := range sp {
+		if tup[pos["A"]] == tup[pos["B"]] {
+			t.Fatalf("diagonal tuple %v reported spurious", tup)
+		}
+	}
+}
+
+func TestSamplerLosslessJoinSamplesOriginal(t *testing.T) {
+	ab := relation.FromRows([]string{"A", "B"}, []relation.Tuple{{1, 1}, {2, 2}})
+	bc := relation.FromRows([]string{"B", "C"}, []relation.Tuple{{1, 5}, {2, 6}})
+	r := ab.NaturalJoin(bc)
+	schema := jointree.MustSchema([]string{"A", "B"}, []string{"B", "C"})
+	tree, err := jointree.BuildJoinTree(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels, err := Projections(r, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	if got := SampleSpurious(s, r, rng, 200); len(got) != 0 {
+		t.Fatalf("lossless join produced %d spurious samples", len(got))
+	}
+}
+
+func TestSamplerStarTree(t *testing.T) {
+	// Branching tree exercises multi-child conditional sampling.
+	rng := rand.New(rand.NewPCG(9, 10))
+	tree := jointree.MustJoinTree(
+		[][]string{{"A", "B"}, {"B", "C"}, {"B", "D"}},
+		[][2]int{{0, 1}, {0, 2}},
+	)
+	rels := []*relation.Relation{
+		randomRelation(rng, []string{"A", "B"}, 3, 10),
+		randomRelation(rng, []string{"B", "C"}, 3, 10),
+		randomRelation(rng, []string{"B", "D"}, 3, 10),
+	}
+	mat, err := MaterializeTree(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.N() == 0 {
+		t.Skip("empty join for this seed")
+	}
+	s, err := NewSampler(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.JoinSize() != int64(mat.N()) {
+		t.Fatalf("size %d != %d", s.JoinSize(), mat.N())
+	}
+	cols := make([]int, len(mat.Attrs()))
+	pos := map[string]int{}
+	for i, a := range s.Attrs() {
+		pos[a] = i
+	}
+	for i, a := range mat.Attrs() {
+		cols[i] = pos[a]
+	}
+	buf := make(relation.Tuple, len(cols))
+	for i := 0; i < 300; i++ {
+		tup := s.Sample(rng)
+		for j, c := range cols {
+			buf[j] = tup[c]
+		}
+		if !mat.Contains(buf) {
+			t.Fatalf("sample %v outside join", tup)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package jointree
+
+import "fmt"
+
+// ContractEdge returns a new join tree in which the two endpoints of edge
+// index e are merged into a single bag (their union), inheriting both
+// endpoints' other edges. Contracting an edge of a valid join tree always
+// yields a valid join tree (the proof of Proposition 5.1 relies on exactly
+// this operation).
+func (t *JoinTree) ContractEdge(e int) (*JoinTree, error) {
+	if e < 0 || e >= len(t.Edges) {
+		return nil, fmt.Errorf("jointree: edge index %d out of range", e)
+	}
+	u, v := t.Edges[e][0], t.Edges[e][1]
+	if u > v {
+		u, v = v, u
+	}
+	m := len(t.Bags)
+	// New node ids: nodes keep their index except v, which merges into u;
+	// nodes above v shift down by one.
+	remap := func(x int) int {
+		switch {
+		case x == v:
+			return u
+		case x > v:
+			return x - 1
+		default:
+			return x
+		}
+	}
+	bags := make([][]string, 0, m-1)
+	for i, bag := range t.Bags {
+		if i == v {
+			continue
+		}
+		if i == u {
+			merged := append([]string(nil), t.Bags[u]...)
+			seen := make(map[string]struct{}, len(merged))
+			for _, a := range merged {
+				seen[a] = struct{}{}
+			}
+			for _, a := range t.Bags[v] {
+				if _, ok := seen[a]; !ok {
+					merged = append(merged, a)
+				}
+			}
+			bags = append(bags, merged)
+			continue
+		}
+		bags = append(bags, bag)
+	}
+	edges := make([][2]int, 0, m-2)
+	for i, ed := range t.Edges {
+		if i == e {
+			continue
+		}
+		edges = append(edges, [2]int{remap(ed[0]), remap(ed[1])})
+	}
+	return NewJoinTree(bags, edges)
+}

@@ -1,0 +1,142 @@
+package jointree
+
+import (
+	"fmt"
+
+	"ajdloss/internal/bitset"
+)
+
+// IsAcyclic reports whether the schema is acyclic (α-acyclic), i.e. admits a
+// join tree, using the GYO ear-removal algorithm.
+func IsAcyclic(s *Schema) bool {
+	_, err := BuildJoinTree(s)
+	return err == nil
+}
+
+// BuildJoinTree runs the GYO reduction on s and returns a join tree whose
+// bags are exactly s's bags (in order). It returns an error if the schema is
+// cyclic. Disconnected schemas are handled by joining components with
+// empty-separator edges (a valid join tree: the acyclic join then contains
+// the corresponding cross product, exactly as the paper's Example 4.1).
+func BuildJoinTree(s *Schema) (*JoinTree, error) {
+	m := s.Len()
+	v := newVocabulary(s)
+	reduced := make([]bitset.Set, m)
+	for i, bag := range s.bags {
+		reduced[i] = v.set(bag)
+	}
+	alive := make([]bool, m)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := m
+	var edges [][2]int
+
+	// occurrences returns how many alive bags contain attribute id.
+	occurrences := func(id int) (count, holder int) {
+		for i := range reduced {
+			if alive[i] && reduced[i].Contains(id) {
+				count++
+				holder = i
+			}
+		}
+		return
+	}
+
+	for aliveCount > 1 {
+		changed := false
+		// Rule 1: delete attributes occurring in exactly one alive bag.
+		for id := range v.names {
+			if c, holder := occurrences(id); c == 1 {
+				reduced[holder].Remove(id)
+				changed = true
+			}
+		}
+		// Rule 2: delete a bag whose reduced set is contained in another
+		// alive bag's reduced set; record the witness as its tree neighbor.
+		for i := 0; i < m && aliveCount > 1; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if i == j || !alive[j] {
+					continue
+				}
+				if reduced[i].SubsetOf(reduced[j]) {
+					alive[i] = false
+					aliveCount--
+					edges = append(edges, [2]int{i, j})
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			return nil, fmt.Errorf("jointree: schema %s is cyclic (GYO reduction stuck with %d bags)", s, aliveCount)
+		}
+	}
+	t := &JoinTree{Bags: s.bags, Edges: edges}
+	if err := t.Validate(); err != nil {
+		// Should not happen for a correct GYO construction; surface loudly.
+		return nil, fmt.Errorf("jointree: GYO produced an invalid tree: %w", err)
+	}
+	return t, nil
+}
+
+// BuildJoinTreeMST constructs a join tree by computing a maximum-weight
+// spanning tree over the bag graph with edge weight |Ωᵢ ∩ Ω_j| (Maier's
+// construction). For an acyclic schema the result is a valid join tree; for
+// a cyclic schema validation fails and an error is returned. It serves as an
+// independent cross-check of BuildJoinTree.
+func BuildJoinTreeMST(s *Schema) (*JoinTree, error) {
+	m := s.Len()
+	v := newVocabulary(s)
+	sets := make([]bitset.Set, m)
+	for i, bag := range s.bags {
+		sets[i] = v.set(bag)
+	}
+	type cand struct {
+		w    int
+		u, t int
+	}
+	var cands []cand
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			cands = append(cands, cand{w: sets[i].Intersect(sets[j]).Len(), u: i, t: j})
+		}
+	}
+	// Sort by descending weight (stable selection keeps determinism).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].w > cands[j-1].w; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var edges [][2]int
+	for _, c := range cands {
+		ru, rt := find(c.u), find(c.t)
+		if ru != rt {
+			parent[ru] = rt
+			edges = append(edges, [2]int{c.u, c.t})
+			if len(edges) == m-1 {
+				break
+			}
+		}
+	}
+	t := &JoinTree{Bags: s.bags, Edges: edges}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("jointree: MST construction failed (schema likely cyclic): %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,35 @@
+package jointree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSchema parses the textual schema format used by the command-line
+// tools: bags separated by ';', attributes within a bag separated by ','.
+// Whitespace around names is trimmed; empty names and empty bags are
+// rejected.
+//
+//	"A,B; B,C"  →  {A,B},{B,C}
+func ParseSchema(s string) (*Schema, error) {
+	var bags [][]string
+	for i, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("jointree: empty bag at position %d in %q", i+1, s)
+		}
+		var bag []string
+		for _, a := range strings.Split(part, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("jointree: empty attribute name in bag %q", part)
+			}
+			bag = append(bag, a)
+		}
+		bags = append(bags, bag)
+	}
+	if len(bags) == 0 {
+		return nil, fmt.Errorf("jointree: empty schema %q", s)
+	}
+	return NewSchema(bags...)
+}

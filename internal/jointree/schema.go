@@ -1,0 +1,191 @@
+// Package jointree implements acyclic schemas and join (junction) trees:
+// GYO ear-removal acyclicity testing, join-tree construction, running
+// intersection property validation, rooted DFS enumeration, and the support
+// MVDs of a join tree (Eq. 9 of the paper and Beeri et al.'s edge MVDs).
+package jointree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ajdloss/internal/bitset"
+)
+
+// Schema is a database schema S = {Ω₁,…,Ω_m}: a list of bags (attribute
+// sets). The paper additionally requires Ωᵢ ⊄ Ω_j for i≠j ("reduced");
+// Reduced() removes redundant bags.
+type Schema struct {
+	bags [][]string
+}
+
+// NewSchema returns a schema with the given bags. Bags are copied and
+// de-duplicated within themselves; empty bags are rejected.
+func NewSchema(bags ...[]string) (*Schema, error) {
+	if len(bags) == 0 {
+		return nil, fmt.Errorf("jointree: schema needs at least one bag")
+	}
+	s := &Schema{bags: make([][]string, 0, len(bags))}
+	for i, bag := range bags {
+		if len(bag) == 0 {
+			return nil, fmt.Errorf("jointree: bag %d is empty", i)
+		}
+		seen := make(map[string]struct{}, len(bag))
+		cp := make([]string, 0, len(bag))
+		for _, a := range bag {
+			if a == "" {
+				return nil, fmt.Errorf("jointree: bag %d has an empty attribute name", i)
+			}
+			if _, dup := seen[a]; !dup {
+				seen[a] = struct{}{}
+				cp = append(cp, a)
+			}
+		}
+		s.bags = append(s.bags, cp)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema but panics on error.
+func MustSchema(bags ...[]string) *Schema {
+	s, err := NewSchema(bags...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Bags returns the bags. Callers must not modify the result.
+func (s *Schema) Bags() [][]string { return s.bags }
+
+// Len returns the number of bags.
+func (s *Schema) Len() int { return len(s.bags) }
+
+// Attrs returns the union of all bags in first-occurrence order.
+func (s *Schema) Attrs() []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, bag := range s.bags {
+		for _, a := range bag {
+			if _, ok := seen[a]; !ok {
+				seen[a] = struct{}{}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// vocabulary assigns dense indexes to attribute names.
+type vocabulary struct {
+	names []string
+	id    map[string]int
+}
+
+func newVocabulary(s *Schema) *vocabulary {
+	v := &vocabulary{id: make(map[string]int)}
+	for _, a := range s.Attrs() {
+		v.id[a] = len(v.names)
+		v.names = append(v.names, a)
+	}
+	return v
+}
+
+func (v *vocabulary) set(bag []string) bitset.Set {
+	b := bitset.New(len(v.names))
+	for _, a := range bag {
+		b.Add(v.id[a])
+	}
+	return b
+}
+
+func (v *vocabulary) names4(b bitset.Set) []string {
+	elems := b.Elems()
+	out := make([]string, len(elems))
+	for i, e := range elems {
+		out[i] = v.names[e]
+	}
+	return out
+}
+
+// Reduced returns a copy of s with bags that are subsets of other bags
+// removed (ties broken by keeping the earlier bag), matching the paper's
+// requirement Ωᵢ ⊄ Ω_j.
+func (s *Schema) Reduced() *Schema {
+	v := newVocabulary(s)
+	sets := make([]bitset.Set, len(s.bags))
+	for i, bag := range s.bags {
+		sets[i] = v.set(bag)
+	}
+	// Drop bag i if it is strictly contained in another bag, or if it is a
+	// duplicate of an earlier bag.
+	var bags [][]string
+	for i := range sets {
+		drop := false
+		for j := range sets {
+			if i == j {
+				continue
+			}
+			if sets[i].SubsetOf(sets[j]) && (!sets[j].SubsetOf(sets[i]) || j < i) {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			bags = append(bags, s.bags[i])
+		}
+	}
+	out, err := NewSchema(bags...)
+	if err != nil {
+		// Unreachable: at least one bag always survives.
+		panic(err)
+	}
+	return out
+}
+
+// IsReduced reports whether no bag is contained in another.
+func (s *Schema) IsReduced() bool {
+	return s.Reduced().Len() == s.Len()
+}
+
+// String renders the schema as {A,B},{B,C},...
+func (s *Schema) String() string {
+	parts := make([]string, len(s.bags))
+	for i, bag := range s.bags {
+		sorted := append([]string(nil), bag...)
+		sort.Strings(sorted)
+		parts[i] = "{" + strings.Join(sorted, ",") + "}"
+	}
+	return strings.Join(parts, ",")
+}
+
+// MVDSchema returns the acyclic schema {XY₁, XY₂, …, XY_k} of the MVD
+// X ↠ Y₁|…|Y_k. It validates that the Yᵢ are pairwise disjoint and disjoint
+// from X.
+func MVDSchema(x []string, ys ...[]string) (*Schema, error) {
+	if len(ys) < 2 {
+		return nil, fmt.Errorf("jointree: an MVD needs at least two dependent groups, got %d", len(ys))
+	}
+	used := make(map[string]struct{})
+	for _, a := range x {
+		used[a] = struct{}{}
+	}
+	bags := make([][]string, 0, len(ys))
+	for i, y := range ys {
+		if len(y) == 0 {
+			return nil, fmt.Errorf("jointree: MVD group %d is empty", i)
+		}
+		bag := append([]string(nil), x...)
+		for _, a := range y {
+			if _, clash := used[a]; clash {
+				return nil, fmt.Errorf("jointree: attribute %q appears in more than one MVD group (or in X)", a)
+			}
+			bag = append(bag, a)
+		}
+		for _, a := range y {
+			used[a] = struct{}{}
+		}
+		bags = append(bags, bag)
+	}
+	return NewSchema(bags...)
+}

@@ -1,0 +1,217 @@
+package jointree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ajdloss/internal/bitset"
+)
+
+// JoinTree is a join (junction) tree ⟨T, χ⟩: Bags[i] is χ(uᵢ) and Edges are
+// the undirected tree edges between bag indexes. A tree over m bags has
+// exactly m−1 edges and must satisfy the running intersection property
+// (Definition 2.1): for every attribute, the bags containing it form a
+// connected subtree.
+type JoinTree struct {
+	Bags  [][]string
+	Edges [][2]int
+}
+
+// NewJoinTree builds a join tree and validates it.
+func NewJoinTree(bags [][]string, edges [][2]int) (*JoinTree, error) {
+	t := &JoinTree{Bags: bags, Edges: edges}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustJoinTree is NewJoinTree but panics on error.
+func MustJoinTree(bags [][]string, edges [][2]int) *JoinTree {
+	t, err := NewJoinTree(bags, edges)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of bags (nodes).
+func (t *JoinTree) Len() int { return len(t.Bags) }
+
+// Schema returns the schema defined by the tree's bags (not reduced).
+func (t *JoinTree) Schema() *Schema {
+	s, err := NewSchema(t.Bags...)
+	if err != nil {
+		panic(fmt.Sprintf("jointree: invalid bags in validated tree: %v", err))
+	}
+	return s
+}
+
+// Attrs returns χ(T), the union of all bags.
+func (t *JoinTree) Attrs() []string { return t.Schema().Attrs() }
+
+// adjacency returns the adjacency lists of the tree.
+func (t *JoinTree) adjacency() [][]int {
+	adj := make([][]int, len(t.Bags))
+	for _, e := range t.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return adj
+}
+
+// Validate checks that (Bags, Edges) is a tree (connected, acyclic) and that
+// the running intersection property holds.
+func (t *JoinTree) Validate() error {
+	m := len(t.Bags)
+	if m == 0 {
+		return fmt.Errorf("jointree: tree has no bags")
+	}
+	for i, bag := range t.Bags {
+		if len(bag) == 0 {
+			return fmt.Errorf("jointree: bag %d is empty", i)
+		}
+	}
+	if len(t.Edges) != m-1 {
+		return fmt.Errorf("jointree: %d bags need %d edges, got %d", m, m-1, len(t.Edges))
+	}
+	for _, e := range t.Edges {
+		if e[0] < 0 || e[0] >= m || e[1] < 0 || e[1] >= m || e[0] == e[1] {
+			return fmt.Errorf("jointree: bad edge %v", e)
+		}
+	}
+	// Connectivity (m nodes, m−1 edges, connected ⇒ tree).
+	adj := t.adjacency()
+	seen := make([]bool, m)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	if count != m {
+		return fmt.Errorf("jointree: edges do not connect all %d bags (reached %d)", m, count)
+	}
+	// Running intersection property: for each attribute, the set of bags
+	// containing it induces a connected subgraph.
+	schema := &Schema{bags: t.Bags}
+	v := newVocabulary(schema)
+	sets := make([]bitset.Set, m)
+	for i, bag := range t.Bags {
+		sets[i] = v.set(bag)
+	}
+	for attr, id := range v.id {
+		first := -1
+		total := 0
+		for i := range sets {
+			if sets[i].Contains(id) {
+				total++
+				if first < 0 {
+					first = i
+				}
+			}
+		}
+		if total <= 1 {
+			continue
+		}
+		// BFS restricted to bags containing the attribute.
+		reach := make([]bool, m)
+		reach[first] = true
+		stack = append(stack[:0], first)
+		got := 1
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[u] {
+				if !reach[w] && sets[w].Contains(id) {
+					reach[w] = true
+					got++
+					stack = append(stack, w)
+				}
+			}
+		}
+		if got != total {
+			return fmt.Errorf("jointree: running intersection violated for attribute %q", attr)
+		}
+	}
+	return nil
+}
+
+// Separator returns χ(u) ∩ χ(v) for edge index e, in sorted order.
+func (t *JoinTree) Separator(e int) []string {
+	u, v := t.Edges[e][0], t.Edges[e][1]
+	return intersectAttrs(t.Bags[u], t.Bags[v])
+}
+
+// intersectAttrs returns the sorted intersection of two attribute lists.
+func intersectAttrs(a, b []string) []string {
+	in := make(map[string]struct{}, len(a))
+	for _, x := range a {
+		in[x] = struct{}{}
+	}
+	var out []string
+	for _, x := range b {
+		if _, ok := in[x]; ok {
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeComponents returns, for edge index e = (u,v), the attribute sets
+// χ(T_u) and χ(T_v) of the two subtrees obtained by removing the edge
+// (Beeri et al.'s edge MVD φ_{u,v} = χ(u)∩χ(v) ↠ χ(T_u) | χ(T_v)).
+func (t *JoinTree) EdgeComponents(e int) (uSide, vSide []string) {
+	u, v := t.Edges[e][0], t.Edges[e][1]
+	adj := t.adjacency()
+	side := func(start, blocked int) []string {
+		seen := make([]bool, len(t.Bags))
+		seen[start] = true
+		stack := []int{start}
+		attrs := make(map[string]struct{})
+		order := []string{}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range t.Bags[x] {
+				if _, ok := attrs[a]; !ok {
+					attrs[a] = struct{}{}
+					order = append(order, a)
+				}
+			}
+			for _, w := range adj[x] {
+				if w != blocked && !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Strings(order)
+		return order
+	}
+	return side(u, v), side(v, u)
+}
+
+// String renders the tree as bags plus edges.
+func (t *JoinTree) String() string {
+	var b strings.Builder
+	for i, bag := range t.Bags {
+		sorted := append([]string(nil), bag...)
+		sort.Strings(sorted)
+		fmt.Fprintf(&b, "u%d={%s} ", i, strings.Join(sorted, ","))
+	}
+	for _, e := range t.Edges {
+		fmt.Fprintf(&b, "(u%d-u%d) ", e[0], e[1])
+	}
+	return strings.TrimSpace(b.String())
+}

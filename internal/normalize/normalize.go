@@ -1,0 +1,172 @@
+// Package normalize turns discovered acyclic schemas into storage
+// decompositions and quantifies the trade the paper's introduction
+// motivates: factorizing a universal relation compresses it (fewer stored
+// cells), at the price of spurious tuples when the AJD is only approximate.
+// The paper's bounds translate a schema's J-measure into a guarantee on
+// that loss; this package packages the whole loop — decompose, measure
+// compression, measure/bound loss, reconstruct.
+package normalize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ajdloss/internal/core"
+	"ajdloss/internal/join"
+	"ajdloss/internal/jointree"
+	"ajdloss/internal/relation"
+)
+
+// Decomposition is a universal relation factored over an acyclic schema:
+// one stored relation per bag.
+type Decomposition struct {
+	Tree  *jointree.JoinTree
+	Parts []*relation.Relation // Parts[i] = R[Bags[i]]
+}
+
+// Decompose projects r onto the schema's bags. The schema must be acyclic
+// and cover r's attributes.
+func Decompose(r *relation.Relation, s *jointree.Schema) (*Decomposition, error) {
+	t, err := jointree.BuildJoinTree(s)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := join.Projections(r, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Decomposition{Tree: t, Parts: parts}, nil
+}
+
+// Reconstruct materializes the acyclic join of the parts — the best
+// reconstruction of the original relation the decomposition supports. For a
+// lossless schema it equals the original exactly; otherwise it is a superset
+// containing ρ·N spurious tuples.
+func (d *Decomposition) Reconstruct() (*relation.Relation, error) {
+	return join.MaterializeTree(d.Tree, d.Parts)
+}
+
+// StoredCells returns the number of attribute cells stored by the
+// decomposition (Σᵢ |Parts[i]|·arity(Parts[i])).
+func (d *Decomposition) StoredCells() int64 {
+	var cells int64
+	for _, p := range d.Parts {
+		cells += int64(p.N()) * int64(p.Arity())
+	}
+	return cells
+}
+
+// Report quantifies a decomposition against its origin relation.
+type Report struct {
+	Schema *jointree.Schema
+
+	OriginalCells int64 // N · arity
+	StoredCells   int64 // Σ parts
+	Compression   float64
+
+	J        float64 // information loss (nats)
+	Loss     core.Loss
+	RhoLower float64 // e^J − 1 (Lemma 4.1)
+
+	Exact bool // reconstruction reproduces R exactly
+}
+
+// Assess decomposes r over s and produces the full report.
+func Assess(r *relation.Relation, s *jointree.Schema) (*Report, error) {
+	if r.N() == 0 {
+		return nil, fmt.Errorf("normalize: cannot assess an empty relation")
+	}
+	d, err := Decompose(r, s)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schema:        s,
+		OriginalCells: int64(r.N()) * int64(r.Arity()),
+		StoredCells:   d.StoredCells(),
+	}
+	rep.Compression = float64(rep.OriginalCells) / float64(rep.StoredCells)
+	if rep.J, err = core.JMeasureSchema(r, s); err != nil {
+		return nil, err
+	}
+	if rep.Loss, err = core.ComputeLossTree(r, d.Tree); err != nil {
+		return nil, err
+	}
+	rep.RhoLower = core.RhoLowerBound(rep.J)
+	rep.Exact = rep.Loss.Spurious == 0
+	return rep, nil
+}
+
+// String renders the report.
+func (rep *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema        %s\n", rep.Schema)
+	fmt.Fprintf(&b, "cells         %d -> %d (compression %.3fx)\n", rep.OriginalCells, rep.StoredCells, rep.Compression)
+	fmt.Fprintf(&b, "J             %.6f nats\n", rep.J)
+	fmt.Fprintf(&b, "rho           %.6f (%d spurious; Lemma 4.1 floor %.6f)\n", rep.Loss.Rho, rep.Loss.Spurious, rep.RhoLower)
+	fmt.Fprintf(&b, "exact         %v\n", rep.Exact)
+	return b.String()
+}
+
+// Frontier assesses a list of candidate schemas and returns the reports
+// sorted by descending compression, keeping only Pareto-optimal entries
+// (no other candidate compresses at least as well with strictly lower ρ).
+func Frontier(r *relation.Relation, schemas []*jointree.Schema) ([]*Report, error) {
+	var reports []*Report
+	for _, s := range schemas {
+		rep, err := Assess(r, s)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].Compression != reports[j].Compression {
+			return reports[i].Compression > reports[j].Compression
+		}
+		return reports[i].Loss.Rho < reports[j].Loss.Rho
+	})
+	var out []*Report
+	bestRho := -1.0
+	for _, rep := range reports {
+		if bestRho < 0 || rep.Loss.Rho < bestRho {
+			out = append(out, rep)
+			bestRho = rep.Loss.Rho
+		}
+	}
+	return out, nil
+}
+
+// VerifyRoundTrip checks the decomposition semantics: R ⊆ reconstruct(R)
+// always, with equality iff the loss is zero; and the parts are exactly the
+// projections of the reconstruction (global consistency of acyclic joins).
+// Returns an error describing the first violated property — any error
+// indicates a bug, not a data property.
+func (d *Decomposition) VerifyRoundTrip(r *relation.Relation) error {
+	rec, err := d.Reconstruct()
+	if err != nil {
+		return err
+	}
+	if !r.SubsetOf(rec) {
+		return fmt.Errorf("normalize: reconstruction lost original tuples")
+	}
+	loss, err := core.ComputeLossTree(r, d.Tree)
+	if err != nil {
+		return err
+	}
+	if (rec.N() == r.N()) != (loss.Spurious == 0) {
+		return fmt.Errorf("normalize: reconstruction size %d vs N %d inconsistent with spurious count %d",
+			rec.N(), r.N(), loss.Spurious)
+	}
+	for i, bag := range d.Tree.Bags {
+		proj, err := rec.Project(bag...)
+		if err != nil {
+			return err
+		}
+		if !proj.EqualUpToOrder(d.Parts[i]) {
+			return fmt.Errorf("normalize: part %d is not the projection of the reconstruction", i)
+		}
+	}
+	return nil
+}

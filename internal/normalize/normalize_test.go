@@ -1,0 +1,180 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ajdloss/internal/jointree"
+	"ajdloss/internal/randrel"
+	"ajdloss/internal/schemagen"
+)
+
+func TestAssessLosslessCompresses(t *testing.T) {
+	// BlockMVD: the planted schema stores 2·dC·block² cells instead of
+	// 3·dC·block² — exact reconstruction with 1.5x compression.
+	rng := randrel.NewRand(1)
+	r := schemagen.BlockMVD(rng, 4, 6)
+	s := jointree.MustSchema([]string{"C", "A"}, []string{"C", "B"})
+	rep, err := Assess(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exact {
+		t.Fatalf("planted lossless schema reported lossy: %+v", rep.Loss)
+	}
+	if rep.Compression <= 1 {
+		t.Fatalf("compression = %v, want > 1", rep.Compression)
+	}
+	if rep.J > 1e-9 {
+		t.Fatalf("J = %v", rep.J)
+	}
+}
+
+func TestAssessLossyReportsLoss(t *testing.T) {
+	r := schemagen.Diagonal(20)
+	s := jointree.MustSchema([]string{"A"}, []string{"B"})
+	rep, err := Assess(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exact {
+		t.Fatal("diagonal decomposition reported exact")
+	}
+	if rep.Loss.Spurious != 380 {
+		t.Fatalf("spurious = %d", rep.Loss.Spurious)
+	}
+	// {A},{B} stores 40 cells vs 40 originally: compression 1, all loss.
+	if rep.Compression != 1 {
+		t.Fatalf("compression = %v", rep.Compression)
+	}
+	if rep.RhoLower > rep.Loss.Rho+1e-9 {
+		t.Fatal("Lemma 4.1 floor exceeds measured loss")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := randrel.NewRand(2)
+	model := randrel.Model{Attrs: []string{"A", "B", "C"}, Domains: []int{4, 4, 4}, N: 30}
+	r, err := model.Sample(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := jointree.MustSchema([]string{"A", "B"}, []string{"B", "C"})
+	d, err := Decompose(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyRoundTrip(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	rng := randrel.NewRand(3)
+	r := schemagen.BlockMVD(rng, 3, 5)
+	schemas := []*jointree.Schema{
+		jointree.MustSchema([]string{"A", "B", "C"}),                // trivial, lossless, 1x
+		jointree.MustSchema([]string{"C", "A"}, []string{"C", "B"}), // planted, lossless
+		jointree.MustSchema([]string{"A"}, []string{"B", "C"}),      // aggressive, lossy
+	}
+	frontier, err := Frontier(r, schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// The planted schema dominates the trivial one (better compression,
+	// same zero loss), so the trivial schema must not appear.
+	for _, rep := range frontier {
+		if rep.Schema.Len() == 1 {
+			t.Fatalf("dominated trivial schema on the frontier: %v", frontier)
+		}
+	}
+	// Frontier is sorted by descending compression with strictly
+	// decreasing rho.
+	for i := 1; i < len(frontier); i++ {
+		if frontier[i].Compression > frontier[i-1].Compression+1e-12 {
+			t.Fatal("frontier not sorted by compression")
+		}
+		if frontier[i].Loss.Rho >= frontier[i-1].Loss.Rho {
+			t.Fatal("frontier rho not strictly improving")
+		}
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	s := jointree.MustSchema([]string{"A"}, []string{"B"})
+	empty := schemagen.Diagonal(0)
+	if _, err := Assess(empty, s); err == nil {
+		t.Fatal("empty relation accepted")
+	}
+	cyclic := jointree.MustSchema([]string{"A", "B"}, []string{"B", "C"}, []string{"C", "A"})
+	rng := randrel.NewRand(4)
+	model := randrel.Model{Attrs: []string{"A", "B", "C"}, Domains: []int{3, 3, 3}, N: 10}
+	r, err := model.Sample(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Assess(r, cyclic); err == nil {
+		t.Fatal("cyclic schema accepted")
+	}
+}
+
+func TestQuickRoundTripOnRandomInstances(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := randrel.NewRand(seed)
+		tree, err := schemagen.RandomJoinTree(rng, 2+int(seed%3), 5, 0.4)
+		if err != nil {
+			return false
+		}
+		attrs := tree.Attrs()
+		domains := make([]int, len(attrs))
+		for i := range domains {
+			domains[i] = 3
+		}
+		model := randrel.Model{Attrs: attrs, Domains: domains, N: 25}
+		if p, overflow := model.DomainProduct(); !overflow && int64(model.N) > p {
+			model.N = int(p)
+		}
+		r, err := model.Sample(rng)
+		if err != nil {
+			return false
+		}
+		d, err := Decompose(r, tree.Schema())
+		if err != nil {
+			return false
+		}
+		return d.VerifyRoundTrip(r) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := schemagen.Diagonal(5)
+	rep, err := Assess(r, jointree.MustSchema([]string{"A"}, []string{"B"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"schema", "cells", "rho", "exact"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStoredCells(t *testing.T) {
+	r := schemagen.Diagonal(4)
+	d, err := Decompose(r, jointree.MustSchema([]string{"A"}, []string{"B"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two unary parts with 4 tuples each: 8 cells.
+	if got := d.StoredCells(); got != 8 {
+		t.Fatalf("StoredCells = %d", got)
+	}
+}

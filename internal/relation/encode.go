@@ -1,0 +1,147 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// Encoder dictionary-encodes string-valued records into Tuples, one
+// dictionary per attribute. Value 1 is the first string seen per attribute
+// (domains are 1-based to mirror the paper's [d] convention).
+type Encoder struct {
+	attrs []string
+	dicts []map[string]Value
+	rev   [][]string
+}
+
+// NewEncoder returns an Encoder for the given attributes.
+func NewEncoder(attrs []string) *Encoder {
+	e := &Encoder{
+		attrs: append([]string(nil), attrs...),
+		dicts: make([]map[string]Value, len(attrs)),
+		rev:   make([][]string, len(attrs)),
+	}
+	for i := range e.dicts {
+		e.dicts[i] = make(map[string]Value)
+	}
+	return e
+}
+
+// Attrs returns the attribute names in schema order.
+func (e *Encoder) Attrs() []string { return e.attrs }
+
+// Encode converts a string record to a Tuple, extending dictionaries as
+// needed. It returns an error if the record length mismatches the schema.
+func (e *Encoder) Encode(record []string) (Tuple, error) {
+	if len(record) != len(e.attrs) {
+		return nil, fmt.Errorf("relation: record has %d fields, schema has %d", len(record), len(e.attrs))
+	}
+	t := make(Tuple, len(record))
+	for i, s := range record {
+		v, ok := e.dicts[i][s]
+		if !ok {
+			v = Value(len(e.rev[i]) + 1)
+			e.dicts[i][s] = v
+			e.rev[i] = append(e.rev[i], s)
+		}
+		t[i] = v
+	}
+	return t, nil
+}
+
+// Decode converts a Tuple back to its string record. Values outside the
+// dictionary are rendered as "#<v>".
+func (e *Encoder) Decode(t Tuple) []string {
+	out := make([]string, len(t))
+	for i, v := range t {
+		if v >= 1 && int(v) <= len(e.rev[i]) {
+			out[i] = e.rev[i][v-1]
+		} else {
+			out[i] = fmt.Sprintf("#%d", v)
+		}
+	}
+	return out
+}
+
+// DomainSize returns the dictionary size of attribute index i.
+func (e *Encoder) DomainSize(i int) int { return len(e.rev[i]) }
+
+// ReadCSV reads a CSV stream into a relation. If header is true the first
+// record supplies attribute names; otherwise attributes are named c1..ck.
+// The returned Encoder maps between the CSV strings and the encoded values.
+func ReadCSV(r io.Reader, header bool) (*Relation, *Encoder, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	first, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil, fmt.Errorf("relation: empty CSV input")
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var attrs []string
+	var pending [][]string
+	if header {
+		attrs = first
+	} else {
+		attrs = make([]string, len(first))
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("c%d", i+1)
+		}
+		pending = append(pending, first)
+	}
+	enc := NewEncoder(attrs)
+	rel := New(attrs...)
+	insert := func(rec []string) error {
+		t, err := enc.Encode(rec)
+		if err != nil {
+			return err
+		}
+		rel.Insert(t)
+		return nil
+	}
+	for _, rec := range pending {
+		if err := insert(rec); err != nil {
+			return nil, nil, err
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := insert(rec); err != nil {
+			return nil, nil, err
+		}
+	}
+	return rel, enc, nil
+}
+
+// WriteCSV writes the relation as CSV with a header row. If enc is non-nil
+// values are decoded through it; otherwise raw integers are written.
+func WriteCSV(w io.Writer, r *Relation, enc *Encoder) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Attrs()); err != nil {
+		return err
+	}
+	for _, t := range r.SortedRows() {
+		var rec []string
+		if enc != nil {
+			rec = enc.Decode(t)
+		} else {
+			rec = make([]string, len(t))
+			for i, v := range t {
+				rec[i] = fmt.Sprintf("%d", v)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,101 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncoderRoundTrip(t *testing.T) {
+	e := NewEncoder([]string{"name", "city"})
+	t1, err := e.Encode([]string{"ann", "paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Encode([]string{"bob", "paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1[1] != t2[1] {
+		t.Fatal("same string encoded differently")
+	}
+	if t1[0] == t2[0] {
+		t.Fatal("different strings encoded equally")
+	}
+	if got := e.Decode(t1); got[0] != "ann" || got[1] != "paris" {
+		t.Fatalf("Decode = %v", got)
+	}
+	if e.DomainSize(0) != 2 || e.DomainSize(1) != 1 {
+		t.Fatal("DomainSize wrong")
+	}
+	if _, err := e.Encode([]string{"only-one"}); err == nil {
+		t.Fatal("arity mismatch did not error")
+	}
+	// Unknown value decodes to placeholder.
+	if got := e.Decode(Tuple{99, 1}); got[0] != "#99" {
+		t.Fatalf("placeholder = %q", got[0])
+	}
+}
+
+func TestReadCSVHeader(t *testing.T) {
+	in := "A,B\n1,x\n2,y\n1,x\n"
+	r, enc, err := ReadCSV(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 2 {
+		t.Fatalf("N = %d (duplicates must collapse)", r.N())
+	}
+	if got := r.Attrs(); got[0] != "A" || got[1] != "B" {
+		t.Fatalf("attrs = %v", got)
+	}
+	if enc.DomainSize(0) != 2 {
+		t.Fatal("dictionary wrong")
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	r, _, err := ReadCSV(strings.NewReader("1,2\n3,4\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 2 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if got := r.Attrs(); got[0] != "c1" || got[1] != "c2" {
+		t.Fatalf("attrs = %v", got)
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, _, err := ReadCSV(strings.NewReader(""), true); err == nil {
+		t.Fatal("empty input did not error")
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	in := "A,B\nx,1\ny,2\n"
+	r, enc, err := ReadCSV(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r, enc); err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.N() != r.N() {
+		t.Fatalf("round trip N = %d, want %d", r2.N(), r.N())
+	}
+	// Raw (encoder-less) output writes integers.
+	var raw bytes.Buffer
+	if err := WriteCSV(&raw, r, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(raw.String(), "1") {
+		t.Fatal("raw CSV has no integer values")
+	}
+}

@@ -1,0 +1,142 @@
+package relation
+
+import "fmt"
+
+// joinPlan precomputes the column bookkeeping for a natural join of r ⋈ s:
+// the shared attributes (join key) and the s-columns that are not in r.
+type joinPlan struct {
+	outAttrs []string
+	rKeyCols []int // key columns in r
+	sKeyCols []int // key columns in s, same order as rKeyCols
+	sRest    []int // s columns appended after r's columns
+}
+
+func newJoinPlan(r, s *Relation) joinPlan {
+	var p joinPlan
+	p.outAttrs = append(p.outAttrs, r.attrs...)
+	for _, a := range r.attrs {
+		if sc, ok := s.pos[a]; ok {
+			p.rKeyCols = append(p.rKeyCols, r.pos[a])
+			p.sKeyCols = append(p.sKeyCols, sc)
+		}
+	}
+	for i, a := range s.attrs {
+		if !r.HasAttr(a) {
+			p.sRest = append(p.sRest, i)
+			p.outAttrs = append(p.outAttrs, a)
+		}
+	}
+	return p
+}
+
+// NaturalJoin returns r ⋈ s (natural join on all shared attributes). If the
+// relations share no attributes the result is the cross product.
+func (r *Relation) NaturalJoin(s *Relation) *Relation {
+	p := newJoinPlan(r, s)
+	out := New(p.outAttrs...)
+
+	// Build hash partition of s on the join key.
+	buckets := make(map[string][]Tuple, s.N())
+	kbuf := make(Tuple, len(p.sKeyCols))
+	for _, t := range s.rows {
+		for i, c := range p.sKeyCols {
+			kbuf[i] = t[c]
+		}
+		k := rowKey(kbuf)
+		buckets[k] = append(buckets[k], t)
+	}
+
+	row := make(Tuple, len(p.outAttrs))
+	rkbuf := make(Tuple, len(p.rKeyCols))
+	for _, rt := range r.rows {
+		for i, c := range p.rKeyCols {
+			rkbuf[i] = rt[c]
+		}
+		matches := buckets[rowKey(rkbuf)]
+		if len(matches) == 0 {
+			continue
+		}
+		copy(row, rt)
+		for _, st := range matches {
+			for i, c := range p.sRest {
+				row[len(r.attrs)+i] = st[c]
+			}
+			out.Insert(row)
+		}
+	}
+	return out
+}
+
+// JoinCount returns |r ⋈ s| without materializing the join.
+func (r *Relation) JoinCount(s *Relation) int64 {
+	p := newJoinPlan(r, s)
+	counts := make(map[string]int64, s.N())
+	kbuf := make(Tuple, len(p.sKeyCols))
+	for _, t := range s.rows {
+		for i, c := range p.sKeyCols {
+			kbuf[i] = t[c]
+		}
+		counts[rowKey(kbuf)]++
+	}
+	var total int64
+	rkbuf := make(Tuple, len(p.rKeyCols))
+	for _, rt := range r.rows {
+		for i, c := range p.rKeyCols {
+			rkbuf[i] = rt[c]
+		}
+		total += counts[rowKey(rkbuf)]
+	}
+	return total
+}
+
+// Semijoin returns r ⋉ s: the tuples of r that join with at least one tuple
+// of s on the shared attributes.
+func (r *Relation) Semijoin(s *Relation) *Relation {
+	var keyAttrs []string
+	for _, a := range r.attrs {
+		if s.HasAttr(a) {
+			keyAttrs = append(keyAttrs, a)
+		}
+	}
+	if len(keyAttrs) == 0 {
+		// No shared attributes: r ⋉ s is r if s nonempty, else empty.
+		if s.N() == 0 {
+			return New(r.attrs...)
+		}
+		return r.Clone()
+	}
+	sCols := s.MustColumns(keyAttrs)
+	present := make(map[string]struct{}, s.N())
+	kbuf := make(Tuple, len(sCols))
+	for _, t := range s.rows {
+		for i, c := range sCols {
+			kbuf[i] = t[c]
+		}
+		present[rowKey(kbuf)] = struct{}{}
+	}
+	rCols := r.MustColumns(keyAttrs)
+	out := New(r.attrs...)
+	for _, t := range r.rows {
+		for i, c := range rCols {
+			kbuf[i] = t[c]
+		}
+		if _, ok := present[rowKey(kbuf)]; ok {
+			out.Insert(t)
+		}
+	}
+	return out
+}
+
+// NaturalJoinAll joins the relations left to right. For an acyclic schema the
+// caller should pass the relations in a connected join-tree order so no
+// intermediate cross products arise. It returns an error on an empty input.
+func NaturalJoinAll(rels []*Relation) (*Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("relation: NaturalJoinAll of zero relations")
+	}
+	acc := rels[0]
+	for _, s := range rels[1:] {
+		acc = acc.NaturalJoin(s)
+	}
+	return acc, nil
+}

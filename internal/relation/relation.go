@@ -1,0 +1,383 @@
+// Package relation implements the in-memory relational substrate used
+// throughout the library: relation instances over named attributes with
+// dictionary-encoded integer values, projection, selection, natural join,
+// semijoin, and multiset statistics needed by the information-theoretic
+// layer.
+//
+// A Relation is a *set* of tuples (duplicates are eliminated on insert), in
+// line with the paper's definition of a relation instance R ∈ Rel(Ω). The
+// empirical distribution associated with R is uniform over its tuples;
+// multiset projections (with multiplicities) are exposed via ProjectCounts.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a single attribute value. Real-world values (strings, etc.) are
+// dictionary-encoded into Values by Encoder; synthetic workloads use domain
+// elements 1..d directly.
+type Value = int32
+
+// Tuple is a row of a relation, one Value per attribute in schema order.
+type Tuple = []Value
+
+// Relation is a finite set of tuples over a fixed list of attributes.
+// The zero value is not usable; construct with New or FromRows.
+type Relation struct {
+	attrs []string
+	pos   map[string]int
+	rows  []Tuple
+	index map[string]int // row key -> index in rows
+}
+
+// New returns an empty relation over the given attributes.
+// Attribute names must be unique and non-empty.
+func New(attrs ...string) *Relation {
+	pos := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a == "" {
+			panic("relation: empty attribute name")
+		}
+		if _, dup := pos[a]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q", a))
+		}
+		pos[a] = i
+	}
+	return &Relation{
+		attrs: append([]string(nil), attrs...),
+		pos:   pos,
+		index: make(map[string]int),
+	}
+}
+
+// FromRows returns a relation over attrs containing the given rows
+// (duplicates removed). Rows are copied.
+func FromRows(attrs []string, rows []Tuple) *Relation {
+	r := New(attrs...)
+	for _, t := range rows {
+		r.Insert(t)
+	}
+	return r
+}
+
+// Attrs returns the attribute names in schema order. The caller must not
+// modify the returned slice.
+func (r *Relation) Attrs() []string { return r.attrs }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// N returns the number of tuples.
+func (r *Relation) N() int { return len(r.rows) }
+
+// Pos returns the position of attribute a in the schema and whether it
+// exists.
+func (r *Relation) Pos(a string) (int, bool) {
+	p, ok := r.pos[a]
+	return p, ok
+}
+
+// HasAttr reports whether the relation has attribute a.
+func (r *Relation) HasAttr(a string) bool {
+	_, ok := r.pos[a]
+	return ok
+}
+
+// Row returns the i-th tuple. The caller must not modify it.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Rows returns all tuples. The caller must not modify them.
+func (r *Relation) Rows() []Tuple { return r.rows }
+
+// rowKey encodes vals into a map key. Keys are only comparable between
+// slices of the same length, which is guaranteed per call site.
+func rowKey(vals []Value) string {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		u := uint32(v)
+		b[4*i] = byte(u)
+		b[4*i+1] = byte(u >> 8)
+		b[4*i+2] = byte(u >> 16)
+		b[4*i+3] = byte(u >> 24)
+	}
+	return string(b)
+}
+
+// RowKey encodes a tuple as a map key; exposed for packages that hash rows.
+func RowKey(vals []Value) string { return rowKey(vals) }
+
+// Insert adds tuple t (copied) and reports whether it was newly added.
+// It panics if len(t) does not match the arity.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != len(r.attrs) {
+		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(t), len(r.attrs)))
+	}
+	k := rowKey(t)
+	if _, ok := r.index[k]; ok {
+		return false
+	}
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	r.index[k] = len(r.rows)
+	r.rows = append(r.rows, cp)
+	return true
+}
+
+// Contains reports whether tuple t is in the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != len(r.attrs) {
+		return false
+	}
+	_, ok := r.index[rowKey(t)]
+	return ok
+}
+
+// Clone returns an independent deep copy of r.
+func (r *Relation) Clone() *Relation {
+	out := New(r.attrs...)
+	for _, t := range r.rows {
+		out.Insert(t)
+	}
+	return out
+}
+
+// columns resolves attribute names to positions, failing on unknown names.
+func (r *Relation) columns(attrs []string) ([]int, error) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := r.pos[a]
+		if !ok {
+			return nil, fmt.Errorf("relation: unknown attribute %q (have %s)", a, strings.Join(r.attrs, ","))
+		}
+		cols[i] = p
+	}
+	return cols, nil
+}
+
+// MustColumns is columns but panics on error; used by hot paths whose
+// attribute lists were validated at construction time.
+func (r *Relation) MustColumns(attrs []string) []int {
+	cols, err := r.columns(attrs)
+	if err != nil {
+		panic(err)
+	}
+	return cols
+}
+
+// Project returns the projection Π_attrs(R) as a new relation (a set:
+// duplicates eliminated).
+func (r *Relation) Project(attrs ...string) (*Relation, error) {
+	cols, err := r.columns(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := New(attrs...)
+	buf := make(Tuple, len(cols))
+	for _, t := range r.rows {
+		for i, c := range cols {
+			buf[i] = t[c]
+		}
+		out.Insert(buf)
+	}
+	return out, nil
+}
+
+// MustProject is Project but panics on error.
+func (r *Relation) MustProject(attrs ...string) *Relation {
+	out, err := r.Project(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ProjectCounts returns the multiset projection of R onto attrs: a map from
+// encoded projected-row key to its multiplicity, plus the column positions
+// used for encoding. This is the primitive behind marginal empirical
+// distributions: P[attrs](y) = count(y)/N.
+func (r *Relation) ProjectCounts(attrs ...string) (map[string]int, error) {
+	cols, err := r.columns(attrs)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int)
+	buf := make(Tuple, len(cols))
+	for _, t := range r.rows {
+		for i, c := range cols {
+			buf[i] = t[c]
+		}
+		counts[rowKey(buf)]++
+	}
+	return counts, nil
+}
+
+// Select returns σ_{attr=val}(R).
+func (r *Relation) Select(attr string, val Value) (*Relation, error) {
+	c, ok := r.pos[attr]
+	if !ok {
+		return nil, fmt.Errorf("relation: unknown attribute %q", attr)
+	}
+	out := New(r.attrs...)
+	for _, t := range r.rows {
+		if t[c] == val {
+			out.Insert(t)
+		}
+	}
+	return out, nil
+}
+
+// SelectWhere returns the sub-relation of tuples for which pred is true.
+func (r *Relation) SelectWhere(pred func(Tuple) bool) *Relation {
+	out := New(r.attrs...)
+	for _, t := range r.rows {
+		if pred(t) {
+			out.Insert(t)
+		}
+	}
+	return out
+}
+
+// GroupSizes returns, for each distinct value combination of attrs, the
+// number of tuples carrying it. Identical to ProjectCounts but keyed by the
+// decoded values, convenient for small group-by analyses.
+func (r *Relation) GroupSizes(attrs ...string) (map[string]int, error) {
+	return r.ProjectCounts(attrs...)
+}
+
+// Equal reports whether r and s are the same set of tuples over the same
+// schema (attribute order must match).
+func (r *Relation) Equal(s *Relation) bool {
+	if r.N() != s.N() || len(r.attrs) != len(s.attrs) {
+		return false
+	}
+	for i := range r.attrs {
+		if r.attrs[i] != s.attrs[i] {
+			return false
+		}
+	}
+	for _, t := range r.rows {
+		if !s.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualUpToOrder reports whether r and s contain the same tuples when s's
+// columns are permuted to match r's attribute names.
+func (r *Relation) EqualUpToOrder(s *Relation) bool {
+	if r.N() != s.N() || len(r.attrs) != len(s.attrs) {
+		return false
+	}
+	cols := make([]int, len(r.attrs))
+	for i, a := range r.attrs {
+		p, ok := s.pos[a]
+		if !ok {
+			return false
+		}
+		cols[i] = p
+	}
+	buf := make(Tuple, len(cols))
+	for _, t := range s.rows {
+		for i, c := range cols {
+			buf[i] = t[c]
+		}
+		if !r.Contains(buf) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every tuple of r (up to column reordering) is in s.
+func (r *Relation) SubsetOf(s *Relation) bool {
+	if len(r.attrs) != len(s.attrs) {
+		return false
+	}
+	cols := make([]int, len(s.attrs))
+	for i, a := range s.attrs {
+		p, ok := r.pos[a]
+		if !ok {
+			return false
+		}
+		cols[i] = p
+	}
+	buf := make(Tuple, len(cols))
+	for _, t := range r.rows {
+		for i, c := range cols {
+			buf[i] = t[c]
+		}
+		if !s.Contains(buf) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedRows returns the tuples sorted lexicographically; useful for
+// deterministic golden output in tests and tools.
+func (r *Relation) SortedRows() []Tuple {
+	out := make([]Tuple, len(r.rows))
+	copy(out, r.rows)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// String renders a small relation as a table; intended for debugging and
+// examples, not for large instances.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d tuples)\n", strings.Join(r.attrs, " | "), r.N())
+	for i, t := range r.SortedRows() {
+		if i >= 20 {
+			fmt.Fprintf(&b, "... (%d more)\n", r.N()-20)
+			break
+		}
+		for j, v := range t {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DomainSize returns the number of distinct values of attribute a.
+func (r *Relation) DomainSize(a string) (int, error) {
+	p, err := r.Project(a)
+	if err != nil {
+		return 0, err
+	}
+	return p.N(), nil
+}
+
+// ActiveDomain returns the sorted distinct values of attribute a.
+func (r *Relation) ActiveDomain(a string) ([]Value, error) {
+	c, ok := r.pos[a]
+	if !ok {
+		return nil, fmt.Errorf("relation: unknown attribute %q", a)
+	}
+	seen := make(map[Value]struct{})
+	for _, t := range r.rows {
+		seen[t[c]] = struct{}{}
+	}
+	out := make([]Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package relation
+
+import "fmt"
+
+// Rename returns a copy of r with attribute old renamed to new. The tuple
+// data is shared content-wise (copied rows), only the schema changes.
+func (r *Relation) Rename(oldName, newName string) (*Relation, error) {
+	p, ok := r.pos[oldName]
+	if !ok {
+		return nil, fmt.Errorf("relation: unknown attribute %q", oldName)
+	}
+	if _, clash := r.pos[newName]; clash && newName != oldName {
+		return nil, fmt.Errorf("relation: attribute %q already exists", newName)
+	}
+	attrs := append([]string(nil), r.attrs...)
+	attrs[p] = newName
+	out := New(attrs...)
+	for _, t := range r.rows {
+		out.Insert(t)
+	}
+	return out, nil
+}
+
+// sameSchema verifies s has exactly r's attributes (any order) and returns
+// the column mapping from r's order into s.
+func (r *Relation) sameSchema(s *Relation) ([]int, error) {
+	if len(r.attrs) != len(s.attrs) {
+		return nil, fmt.Errorf("relation: schema arity mismatch %d vs %d", len(r.attrs), len(s.attrs))
+	}
+	cols := make([]int, len(r.attrs))
+	for i, a := range r.attrs {
+		p, ok := s.pos[a]
+		if !ok {
+			return nil, fmt.Errorf("relation: attribute %q missing from %v", a, s.attrs)
+		}
+		cols[i] = p
+	}
+	return cols, nil
+}
+
+// Union returns r ∪ s over r's attribute order. Schemas must contain the
+// same attributes (order may differ).
+func (r *Relation) Union(s *Relation) (*Relation, error) {
+	cols, err := r.sameSchema(s)
+	if err != nil {
+		return nil, err
+	}
+	out := r.Clone()
+	buf := make(Tuple, len(cols))
+	for _, t := range s.rows {
+		for i, c := range cols {
+			buf[i] = t[c]
+		}
+		out.Insert(buf)
+	}
+	return out, nil
+}
+
+// Minus returns r \ s over r's attribute order.
+func (r *Relation) Minus(s *Relation) (*Relation, error) {
+	cols, err := r.sameSchema(s)
+	if err != nil {
+		return nil, err
+	}
+	drop := make(map[string]struct{}, s.N())
+	buf := make(Tuple, len(cols))
+	for _, t := range s.rows {
+		for i, c := range cols {
+			buf[i] = t[c]
+		}
+		drop[rowKey(buf)] = struct{}{}
+	}
+	out := New(r.attrs...)
+	for _, t := range r.rows {
+		if _, gone := drop[rowKey(t)]; !gone {
+			out.Insert(t)
+		}
+	}
+	return out, nil
+}
+
+// Intersect returns r ∩ s over r's attribute order.
+func (r *Relation) Intersect(s *Relation) (*Relation, error) {
+	cols, err := r.sameSchema(s)
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[string]struct{}, s.N())
+	buf := make(Tuple, len(cols))
+	for _, t := range s.rows {
+		for i, c := range cols {
+			buf[i] = t[c]
+		}
+		keep[rowKey(buf)] = struct{}{}
+	}
+	out := New(r.attrs...)
+	for _, t := range r.rows {
+		if _, ok := keep[rowKey(t)]; ok {
+			out.Insert(t)
+		}
+	}
+	return out, nil
+}

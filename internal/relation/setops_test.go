@@ -1,0 +1,108 @@
+package relation
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRename(t *testing.T) {
+	r := FromRows([]string{"A", "B"}, []Tuple{{1, 2}})
+	got, err := r.Rename("A", "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasAttr("X") || got.HasAttr("A") || !got.Contains(Tuple{1, 2}) {
+		t.Fatalf("rename = %v", got)
+	}
+	if _, err := r.Rename("Z", "Y"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, err := r.Rename("A", "B"); err == nil {
+		t.Fatal("clash accepted")
+	}
+	// Renaming to itself is a no-op clone.
+	same, err := r.Rename("A", "A")
+	if err != nil || !same.Equal(r) {
+		t.Fatalf("self-rename: %v, %v", same, err)
+	}
+}
+
+func TestUnionMinusIntersect(t *testing.T) {
+	a := FromRows([]string{"A", "B"}, []Tuple{{1, 1}, {2, 2}})
+	// b has permuted schema order: set ops must align by name.
+	b := FromRows([]string{"B", "A"}, []Tuple{{2, 2}, {3, 3}}) // tuples (A=2,B=2),(A=3,B=3)
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 3 || !u.Contains(Tuple{3, 3}) {
+		t.Fatalf("union = %v", u)
+	}
+	m, err := a.Minus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 1 || !m.Contains(Tuple{1, 1}) {
+		t.Fatalf("minus = %v", m)
+	}
+	x, err := a.Intersect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.N() != 1 || !x.Contains(Tuple{2, 2}) {
+		t.Fatalf("intersect = %v", x)
+	}
+	// Schema mismatch errors.
+	c := FromRows([]string{"A"}, []Tuple{{1}})
+	if _, err := a.Union(c); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	d := FromRows([]string{"A", "C"}, []Tuple{{1, 1}})
+	if _, err := a.Minus(d); err == nil {
+		t.Fatal("attribute mismatch accepted")
+	}
+}
+
+func TestQuickSetOpLaws(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 71))
+		a := randomRelation(rng, []string{"A", "B"}, 3, 1+rng.IntN(15))
+		b := randomRelation(rng, []string{"A", "B"}, 3, 1+rng.IntN(15))
+		u, err := a.Union(b)
+		if err != nil {
+			return false
+		}
+		m, err := a.Minus(b)
+		if err != nil {
+			return false
+		}
+		x, err := a.Intersect(b)
+		if err != nil {
+			return false
+		}
+		// |A∪B| = |A| + |B| − |A∩B|; A = (A\B) ∪ (A∩B) disjointly.
+		if u.N() != a.N()+b.N()-x.N() {
+			return false
+		}
+		if m.N()+x.N() != a.N() {
+			return false
+		}
+		// Idempotence and commutativity.
+		u2, err := b.Union(a)
+		if err != nil {
+			return false
+		}
+		if u.N() != u2.N() {
+			return false
+		}
+		self, err := a.Union(a)
+		if err != nil {
+			return false
+		}
+		return self.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
