@@ -1,8 +1,11 @@
 package ajdloss
 
 // Benchmark harness: one benchmark per evaluation artifact (the E* ids of
-// DESIGN.md §4), plus micro-benchmarks of the substrate operations the
-// experiments stress. Regenerate every figure/table with
+// EXPERIMENTS.md), plus micro-benchmarks of the substrate operations the
+// experiments stress — including the legacy string-keyed baselines the
+// columnar group-count engine is measured against (see EXPERIMENTS.md,
+// "Columnar engine vs legacy string-keyed baseline"). Regenerate every
+// figure/table with
 //
 //	go test -bench=. -benchmem
 //
@@ -177,6 +180,118 @@ func BenchmarkEntropy(b *testing.B) {
 				infotheory.MustEntropy(r, "A", "B")
 			}
 		})
+	}
+}
+
+// BenchmarkEntropyLegacy is the string-keyed ProjectCounts baseline the
+// columnar engine is measured against (it re-hashes every row per call;
+// the engine memoizes partitions, so BenchmarkEntropy amortizes to O(1)).
+func BenchmarkEntropyLegacy(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := benchRelation(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := infotheory.LegacyEntropy(r, "A", "B"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEntropyCold measures the engine without memoization benefits:
+// every iteration rebuilds the columnar engine from a cloned relation, so
+// the cost is one full refinement chain (the engine's worst case).
+func BenchmarkEntropyCold(b *testing.B) {
+	r := benchRelation(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cold := r.Clone()
+		b.StartTimer()
+		infotheory.MustEntropy(cold, "A", "B")
+	}
+}
+
+// legacyPairwiseMI computes the Chow-Liu pairwise mutual-information matrix
+// through the legacy path: every pair re-scans the relation for H(a), H(b),
+// and H(ab) with string-keyed counting and no reuse — exactly the pre-engine
+// behavior of discovery.ChowLiu, kept as the benchmark baseline.
+func legacyPairwiseMI(b *testing.B, r *relation.Relation) []float64 {
+	b.Helper()
+	attrs := r.Attrs()
+	var out []float64
+	for i := 0; i < len(attrs); i++ {
+		for j := i + 1; j < len(attrs); j++ {
+			ha, err := infotheory.LegacyEntropy(r, attrs[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			hb, err := infotheory.LegacyEntropy(r, attrs[j])
+			if err != nil {
+				b.Fatal(err)
+			}
+			hab, err := infotheory.LegacyEntropy(r, attrs[i], attrs[j])
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = append(out, ha+hb-hab)
+		}
+	}
+	return out
+}
+
+func benchWideRelation(b *testing.B, n int) *relation.Relation {
+	b.Helper()
+	model := randrel.Model{
+		Attrs:   []string{"A", "B", "C", "D", "E", "F"},
+		Domains: []int{16, 16, 16, 16, 16, 16},
+		N:       n,
+	}
+	r, err := model.Sample(randrel.NewRand(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkChowLiu exercises the full discovery pipeline on the columnar
+// engine (memoized partitions + worker-pool MI matrix); each iteration runs
+// on a cloned relation so the engine starts cold.
+func BenchmarkChowLiu(b *testing.B) {
+	r := benchWideRelation(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cold := r.Clone()
+		b.StartTimer()
+		if _, err := discovery.ChowLiu(cold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChowLiuLegacy is the pre-engine baseline: the sequential
+// string-keyed MI matrix that dominated ChowLiu's runtime.
+func BenchmarkChowLiuLegacy(b *testing.B) {
+	r := benchWideRelation(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		legacyPairwiseMI(b, r)
+	}
+}
+
+func BenchmarkFindMVDs(b *testing.B) {
+	r := benchWideRelation(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cold := r.Clone()
+		b.StartTimer()
+		if _, err := discovery.FindMVDs(cold, 1, 0.01); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

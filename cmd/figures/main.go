@@ -1,5 +1,6 @@
 // Command figures regenerates every evaluation artifact of the paper
-// (Figure 1 and the measured theorem tables E1–E10 indexed in DESIGN.md).
+// (Figure 1 and the measured theorem tables E1–E12 indexed in
+// EXPERIMENTS.md).
 //
 // Usage:
 //

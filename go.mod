@@ -1,0 +1,3 @@
+module ajdloss
+
+go 1.22

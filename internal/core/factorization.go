@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ajdloss/internal/infotheory"
 	"ajdloss/internal/jointree"
@@ -14,18 +15,27 @@ import (
 //
 //	P^T(x) = Π_i P[Ωᵢ](x[Ωᵢ]) / Π_i P[Δᵢ](x[Δᵢ]).
 //
-// It precomputes the marginal counts of every bag and separator so P^T can
-// be evaluated per tuple in O(m) map lookups.
+// The marginal counts of every bag and separator come from the columnar
+// group-count engine: evaluating P^T on a tuple *of r* (the KL computation,
+// Theorem 3.2) is pure integer indexing with no hashing. Evaluating P^T on
+// arbitrary tuples (spurious join tuples, Dist) needs value-addressable
+// lookups and lazily builds legacy string-keyed maps on first use.
 type Factorization struct {
 	r      *relation.Relation
 	rooted *jointree.Rooted
 	n      float64
-	// bagCols/sepCols are column positions in r for each bag/separator.
+	// bagGroups/sepGroups hold per-row group ids and per-group counts for
+	// each bag and separator, shared with the relation's memoized engine.
+	bagGroups []*relation.Grouping
+	sepGroups []*relation.Grouping
+	// bagCols/sepCols are column positions in r, used by the lazy lookup.
 	bagCols [][]int
 	sepCols [][]int
-	// bagCounts/sepCounts are marginal multiplicities keyed by encoded rows.
-	bagCounts []map[string]int
-	sepCounts []map[string]int
+
+	lookupOnce sync.Once
+	bagLookup  []map[string]int
+	sepLookup  []map[string]int
+	lookupErr  error
 }
 
 // NewFactorization builds the P^T evaluator for the empirical distribution
@@ -38,23 +48,48 @@ func NewFactorization(r *relation.Relation, rooted *jointree.Rooted) (*Factoriza
 	m := len(rooted.Order)
 	for i := 0; i < m; i++ {
 		bag := rooted.Bag(i)
-		counts, err := r.ProjectCounts(bag...)
+		g, err := r.Grouping(bag...)
 		if err != nil {
 			return nil, err
 		}
+		f.bagGroups = append(f.bagGroups, g)
 		f.bagCols = append(f.bagCols, r.MustColumns(bag))
-		f.bagCounts = append(f.bagCounts, counts)
 	}
 	for i := 1; i < m; i++ {
 		sep := rooted.Sep[i]
-		counts, err := r.ProjectCounts(sep...)
+		g, err := r.Grouping(sep...)
 		if err != nil {
 			return nil, err
 		}
+		f.sepGroups = append(f.sepGroups, g)
 		f.sepCols = append(f.sepCols, r.MustColumns(sep))
-		f.sepCounts = append(f.sepCounts, counts)
 	}
 	return f, nil
+}
+
+// lookups builds the legacy string-keyed marginal maps used to evaluate P^T
+// on tuples outside r. Built once, only when such a tuple is evaluated.
+func (f *Factorization) lookups() ([]map[string]int, []map[string]int, error) {
+	f.lookupOnce.Do(func() {
+		m := len(f.rooted.Order)
+		for i := 0; i < m; i++ {
+			counts, err := f.r.ProjectCounts(f.rooted.Bag(i)...)
+			if err != nil {
+				f.lookupErr = err
+				return
+			}
+			f.bagLookup = append(f.bagLookup, counts)
+		}
+		for i := 1; i < m; i++ {
+			counts, err := f.r.ProjectCounts(f.rooted.Sep[i]...)
+			if err != nil {
+				f.lookupErr = err
+				return
+			}
+			f.sepLookup = append(f.sepLookup, counts)
+		}
+	})
+	return f.bagLookup, f.sepLookup, f.lookupErr
 }
 
 func project(t relation.Tuple, cols []int) string {
@@ -75,18 +110,26 @@ func (f *Factorization) Prob(t relation.Tuple) float64 {
 	return math.Exp(logp)
 }
 
-// LogProb returns ln P^T(t) and whether the probability is positive.
+// LogProb returns ln P^T(t) and whether the probability is positive. t is an
+// arbitrary tuple (not necessarily in r), so this is the string-keyed
+// diagnostics path; the KL hot loop uses logProbRow instead.
 func (f *Factorization) LogProb(t relation.Tuple) (float64, bool) {
+	bagLookup, sepLookup, err := f.lookups()
+	if err != nil {
+		// Columns were validated at construction time; an error here would be
+		// a schema mutation mid-flight, which the API forbids.
+		panic(err)
+	}
 	var lp float64
 	for i, cols := range f.bagCols {
-		c := f.bagCounts[i][project(t, cols)]
+		c := bagLookup[i][project(t, cols)]
 		if c == 0 {
 			return 0, false
 		}
 		lp += math.Log(float64(c) / f.n)
 	}
 	for i, cols := range f.sepCols {
-		c := f.sepCounts[i][project(t, cols)]
+		c := sepLookup[i][project(t, cols)]
 		if c == 0 {
 			// Unreachable if all bag counts were positive (separator ⊆ bag),
 			// kept as a guard for malformed trees.
@@ -97,18 +140,29 @@ func (f *Factorization) LogProb(t relation.Tuple) (float64, bool) {
 	return lp, true
 }
 
+// logProbRow returns ln P^T of row i of r by pure group-ID indexing. Every
+// bag and separator projection of a row of r occurs in r, so the probability
+// is always positive.
+func (f *Factorization) logProbRow(i int) float64 {
+	var lp float64
+	for _, g := range f.bagGroups {
+		lp += math.Log(float64(g.Counts[g.IDs[i]]) / f.n)
+	}
+	for _, g := range f.sepGroups {
+		lp -= math.Log(float64(g.Counts[g.IDs[i]]) / f.n)
+	}
+	return lp
+}
+
 // KLFromEmpirical returns D_KL(P ‖ P^T) where P is the empirical
 // distribution of r. By Theorem 3.2 this equals J(T); the equality is
 // verified in tests and exposed as an internal consistency check.
 func (f *Factorization) KLFromEmpirical() (float64, error) {
 	var d float64
 	invN := 1.0 / f.n
-	for _, t := range f.r.Rows() {
-		lq, ok := f.LogProb(t)
-		if !ok {
-			return 0, fmt.Errorf("core: P^T assigns zero probability to a tuple of R; join tree does not cover the schema")
-		}
-		d += invN * (math.Log(invN) - lq)
+	logInvN := math.Log(invN)
+	for i := 0; i < f.r.N(); i++ {
+		d += invN * (logInvN - f.logProbRow(i))
 	}
 	if d < 0 && d > -1e-9 {
 		d = 0

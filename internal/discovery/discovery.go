@@ -20,13 +20,65 @@ package discovery
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ajdloss/internal/core"
 	"ajdloss/internal/infotheory"
 	"ajdloss/internal/jointree"
 	"ajdloss/internal/relation"
 )
+
+// forEachIndex runs fn(i) for i in [0,n) on a pool of GOMAXPROCS workers and
+// returns the error of the lowest failing index (deterministic regardless of
+// scheduling). Results must be written into caller-owned per-index slots so
+// the output order is independent of goroutine interleaving; the memoized
+// group-count engine makes the shared relation safe for concurrent reads.
+func forEachIndex(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstI   = n
+		firstErr error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstI {
+						firstI, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
 
 // Candidate is a discovered acyclic schema with its J-measure (nats).
 type Candidate struct {
@@ -54,12 +106,28 @@ func ChowLiu(r *relation.Relation) (Candidate, error) {
 	pairs := make([]pair, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			mi, err := infotheory.MutualInformation(r, []string{attrs[i]}, []string{attrs[j]})
-			if err != nil {
-				return Candidate{}, err
-			}
-			pairs = append(pairs, pair{i, j, mi})
+			pairs = append(pairs, pair{i: i, j: j})
 		}
+	}
+	// The O(n²) pairwise-MI matrix dominates Chow-Liu; compute it on a worker
+	// pool. Results land in per-pair slots, so the outcome is deterministic.
+	// Warm the singleton entropies first: each H(Xᵢ) is needed by n−1 pairs
+	// and pre-seeding the memo keeps the workers from racing to compute them.
+	for i := 0; i < n; i++ {
+		if _, err := infotheory.Entropy(r, attrs[i]); err != nil {
+			return Candidate{}, err
+		}
+	}
+	if err := forEachIndex(len(pairs), func(k int) error {
+		p := &pairs[k]
+		mi, err := infotheory.MutualInformation(r, []string{attrs[p.i]}, []string{attrs[p.j]})
+		if err != nil {
+			return err
+		}
+		p.mi = mi
+		return nil
+	}); err != nil {
+		return Candidate{}, err
 	}
 	sort.Slice(pairs, func(a, b int) bool {
 		if pairs[a].mi != pairs[b].mi {
@@ -227,28 +295,42 @@ func FindMVDs(r *relation.Relation, maxSep int, threshold float64) ([]MVDCandida
 	if maxSep < 0 || maxSep >= n {
 		return nil, fmt.Errorf("discovery: need 0 ≤ maxSep < #attrs, got %d with %d attrs", maxSep, n)
 	}
-	var out []MVDCandidate
-	for _, sep := range subsetsUpTo(attrs, maxSep) {
+	// Each separator's work — the O(|rest|²) CMI scan plus the star-schema
+	// J — is independent; fan it out on a worker pool. Per-separator slots
+	// keep the output order (and the final sort) deterministic.
+	seps := subsetsUpTo(attrs, maxSep)
+	results := make([]*MVDCandidate, len(seps))
+	if err := forEachIndex(len(seps), func(k int) error {
+		sep := seps[k]
 		rest := exclude(attrs, sep)
 		if len(rest) < 2 {
-			continue
+			return nil
 		}
 		comps, err := dependenceComponents(r, rest, sep, threshold)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(comps) < 2 {
-			continue
+			return nil
 		}
 		schema, err := jointree.MVDSchema(sep, comps...)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		j, err := core.JMeasureSchema(r, schema)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, MVDCandidate{X: sep, Groups: comps, J: j})
+		results[k] = &MVDCandidate{X: sep, Groups: comps, J: j}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var out []MVDCandidate
+	for _, c := range results {
+		if c != nil {
+			out = append(out, *c)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].J != out[j].J {

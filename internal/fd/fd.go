@@ -46,11 +46,11 @@ func Holds(r *relation.Relation, f FD) (bool, error) {
 	if len(f.Y) == 0 {
 		return true, nil // trivial
 	}
-	xCounts, err := r.ProjectCounts(f.X...)
+	xCounts, err := r.GroupCounts(f.X...)
 	if err != nil {
 		return false, err
 	}
-	xyCounts, err := r.ProjectCounts(infotheory.Union(f.X, f.Y)...)
+	xyCounts, err := r.GroupCounts(infotheory.Union(f.X, f.Y)...)
 	if err != nil {
 		return false, err
 	}
@@ -68,7 +68,8 @@ func ConditionalEntropy(r *relation.Relation, f FD) (float64, error) {
 }
 
 // G3Error returns the g₃ measure of the FD: the minimum fraction of tuples
-// that must be removed from R for X → Y to hold. 0 iff the FD holds.
+// that must be removed from R for X → Y to hold. 0 iff the FD holds. It runs
+// over the memoized group-ID partitions of X and X∪Y — no per-row hashing.
 func G3Error(r *relation.Relation, f FD) (float64, error) {
 	if r.N() == 0 {
 		return 0, fmt.Errorf("fd: g3 of an empty relation is undefined")
@@ -76,29 +77,21 @@ func G3Error(r *relation.Relation, f FD) (float64, error) {
 	if len(f.Y) == 0 {
 		return 0, nil
 	}
-	xy := infotheory.Union(f.X, f.Y)
-	xyCounts, err := r.ProjectCounts(xy...)
+	gx, err := r.Grouping(f.X...)
 	if err != nil {
 		return 0, err
 	}
-	// For each X-group keep the most frequent Y-value.
-	xCols := r.MustColumns(f.X)
-	best := make(map[string]int) // X-key -> max XY multiplicity
-	buf := make(relation.Tuple, len(xCols))
-	seen := make(map[string]struct{}, len(xyCounts))
-	for _, t := range r.Rows() {
-		xyKey := projectKey(t, r.MustColumns(xy))
-		if _, done := seen[xyKey]; done {
-			continue
-		}
-		seen[xyKey] = struct{}{}
-		c := xyCounts[xyKey]
-		for i, col := range xCols {
-			buf[i] = t[col]
-		}
-		xKey := relation.RowKey(buf)
-		if c > best[xKey] {
-			best[xKey] = c
+	gxy, err := r.Grouping(infotheory.Union(f.X, f.Y)...)
+	if err != nil {
+		return 0, err
+	}
+	// For each X-group keep the most frequent Y-value: best[g] is the largest
+	// XY-group size among rows whose X-group is g.
+	best := make([]int, gx.Groups())
+	for i := 0; i < r.N(); i++ {
+		c := gxy.Counts[gxy.IDs[i]]
+		if c > best[gx.IDs[i]] {
+			best[gx.IDs[i]] = c
 		}
 	}
 	keep := 0
@@ -106,14 +99,6 @@ func G3Error(r *relation.Relation, f FD) (float64, error) {
 		keep += c
 	}
 	return float64(r.N()-keep) / float64(r.N()), nil
-}
-
-func projectKey(t relation.Tuple, cols []int) string {
-	buf := make(relation.Tuple, len(cols))
-	for i, c := range cols {
-		buf[i] = t[c]
-	}
-	return relation.RowKey(buf)
 }
 
 // Closure returns the attribute closure X⁺ under the given FDs (Armstrong
@@ -175,7 +160,7 @@ func IsSuperkey(r *relation.Relation, x []string) (bool, error) {
 	if len(x) == 0 {
 		return r.N() <= 1, nil
 	}
-	counts, err := r.ProjectCounts(x...)
+	counts, err := r.GroupCounts(x...)
 	if err != nil {
 		return false, err
 	}

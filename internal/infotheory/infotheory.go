@@ -16,9 +16,29 @@ import (
 // attributes: a relation instance (uniform over its tuples) or a multiset
 // (probability proportional to multiplicity), per the paper's Section 2.2
 // definition. N is the total number of tuples counted with multiplicity;
-// ProjectCounts returns the multiset projection onto attrs keyed by encoded
-// rows.
+// GroupCounts returns the multiplicities of the multiset projection onto
+// attrs as a dense slice indexed by group id (the columnar group-count
+// engine of internal/relation; group identities are irrelevant to every
+// measure here, only the count multiset matters).
 type Source interface {
+	N() int
+	GroupCounts(attrs ...string) ([]int, error)
+}
+
+// EntropySource is an optional Source extension for sources that memoize
+// per-attribute-set entropies (relation.Relation and relation.Multiset do,
+// sharing partition refinements across the repeated overlapping queries of
+// CMI and schema discovery). Entropy uses it when available.
+type EntropySource interface {
+	Source
+	GroupEntropy(attrs ...string) (float64, error)
+}
+
+// ProjectionSource is the legacy string-keyed projection interface. It is
+// retained for diagnostics that need value-addressable outcome keys
+// (EmpiricalDist) and as the baseline the bench harness and the engine
+// parity tests compare the columnar path against. No hot path uses it.
+type ProjectionSource interface {
 	N() int
 	ProjectCounts(attrs ...string) (map[string]int, error)
 }
@@ -33,7 +53,7 @@ func Nats(bits float64) float64 { return bits * math.Ln2 }
 // assigns probability c/total to each count c. It returns 0 for an empty
 // input. total must equal the sum of counts; it is passed in because callers
 // always know it (the relation size N).
-func EntropyFromCounts(counts map[string]int, total int) float64 {
+func EntropyFromCounts(counts []int, total int) float64 {
 	if total <= 0 {
 		return 0
 	}
@@ -50,17 +70,46 @@ func EntropyFromCounts(counts map[string]int, total int) float64 {
 
 // Entropy returns H(attrs) (nats) under the empirical distribution of r:
 // the entropy of the multiset projection of r onto attrs. For attrs equal to
-// the full schema of a (set-valued) relation this is log N.
+// the full schema of a (set-valued) relation this is log N. Sources that
+// memoize entropies (EntropySource) answer repeated queries in O(1).
 func Entropy(r Source, attrs ...string) (float64, error) {
 	if len(attrs) == 0 {
 		// H(∅) = 0: the empty projection is a single constant outcome.
+		return 0, nil
+	}
+	if es, ok := r.(EntropySource); ok {
+		return es.GroupEntropy(attrs...)
+	}
+	counts, err := r.GroupCounts(attrs...)
+	if err != nil {
+		return 0, err
+	}
+	return EntropyFromCounts(counts, r.N()), nil
+}
+
+// LegacyEntropy computes H(attrs) through the legacy string-keyed
+// ProjectCounts path. It exists solely as the baseline for the bench harness
+// and the columnar-engine parity tests; production callers use Entropy.
+func LegacyEntropy(r ProjectionSource, attrs ...string) (float64, error) {
+	if len(attrs) == 0 {
 		return 0, nil
 	}
 	counts, err := r.ProjectCounts(attrs...)
 	if err != nil {
 		return 0, err
 	}
-	return EntropyFromCounts(counts, r.N()), nil
+	if r.N() <= 0 {
+		return 0, nil
+	}
+	var s float64
+	for _, c := range counts {
+		if c > 1 {
+			fc := float64(c)
+			s += fc * math.Log(fc)
+		}
+	}
+	total := float64(r.N())
+	return math.Log(total) - s/total, nil
 }
 
 // MustEntropy is Entropy but panics on unknown attributes.
@@ -202,8 +251,10 @@ func KLDivergence(p, q Dist) float64 {
 }
 
 // EmpiricalDist returns the empirical distribution of r restricted to attrs
-// (marginal), keyed by encoded projected rows.
-func EmpiricalDist(r Source, attrs ...string) (Dist, error) {
+// (marginal), keyed by encoded projected rows. It is a diagnostics path (the
+// keys must be value-addressable) and therefore takes the legacy
+// ProjectionSource.
+func EmpiricalDist(r ProjectionSource, attrs ...string) (Dist, error) {
 	counts, err := r.ProjectCounts(attrs...)
 	if err != nil {
 		return nil, err

@@ -84,93 +84,122 @@ func addCheck(a, b int64) (int64, error) {
 	return c, nil
 }
 
-// CountTree returns |⋈ᵢ rels[i]| over the join tree without materializing
-// the join, by bottom-up message passing: the message from a node to its
-// parent maps each separator value to the number of join extensions in the
-// node's subtree consistent with that value.
-func CountTree(t *jointree.JoinTree, rels []*relation.Relation) (int64, error) {
+// treePlan precomputes, for a rooted join tree, the child lists and the
+// per-edge group alignments between each node's relation and its parent's
+// relation on the separator attributes. All message passing then runs over
+// dense integer group-IDs — no string keys.
+type treePlan struct {
+	rooted   *jointree.Rooted
+	rels     []*relation.Relation // by DFS position
+	children [][]int              // children[pos]: DFS child positions
+	// For pos ≥ 1, edge pos→parent: childIDs[pos][i] is the aligned
+	// separator group of row i of the relation at pos; parentIDs[pos][i] the
+	// aligned group of row i of the parent's relation; groups[pos] the size
+	// of the shared id space.
+	childIDs  [][]int32
+	parentIDs [][]int32
+	groups    []int
+}
+
+func newTreePlan(t *jointree.JoinTree, rels []*relation.Relation) (*treePlan, error) {
 	if len(rels) != t.Len() {
-		return 0, fmt.Errorf("join: %d relations for %d bags", len(rels), t.Len())
+		return nil, fmt.Errorf("join: %d relations for %d bags", len(rels), t.Len())
 	}
 	rooted, err := jointree.Root(t, 0)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	m := len(rooted.Order)
-	// children[pos] lists DFS positions of children of the node at pos.
-	children := make([][]int, m)
-	for i := 1; i < m; i++ {
-		p := rooted.Parent[i]
-		children[p] = append(children[p], i)
+	p := &treePlan{
+		rooted:    rooted,
+		rels:      make([]*relation.Relation, m),
+		children:  make([][]int, m),
+		childIDs:  make([][]int32, m),
+		parentIDs: make([][]int32, m),
+		groups:    make([]int, m),
 	}
-	// messages[pos]: map from separator key (toward parent) to extension count.
-	messages := make([]map[string]int64, m)
-
-	// subtreeWeight computes, for each tuple of rel at DFS position pos, the
-	// product of child-message values, grouped by the tuple's key on keyAttrs.
-	aggregate := func(pos int, keyAttrs []string) (map[string]int64, error) {
-		bagIdx := rooted.Order[pos]
-		rel := rels[bagIdx]
-		keyCols := rel.MustColumns(keyAttrs)
-		childCols := make([][]int, len(children[pos]))
-		for k, c := range children[pos] {
-			childCols[k] = rel.MustColumns(rooted.Sep[c])
+	for pos := 0; pos < m; pos++ {
+		p.rels[pos] = rels[rooted.Order[pos]]
+	}
+	for i := 1; i < m; i++ {
+		par := rooted.Parent[i]
+		p.children[par] = append(p.children[par], i)
+		sep := rooted.Sep[i]
+		parentIDs, childIDs, groups, err := relation.AlignGroups(p.rels[par], sep, p.rels[i], sep)
+		if err != nil {
+			return nil, err
 		}
-		out := make(map[string]int64)
-		kbuf := make(relation.Tuple, len(keyCols))
-		for _, tup := range rel.Rows() {
+		p.parentIDs[i] = parentIDs
+		p.childIDs[i] = childIDs
+		p.groups[i] = groups
+	}
+	return p, nil
+}
+
+// CountTree returns |⋈ᵢ rels[i]| over the join tree without materializing
+// the join, by bottom-up message passing: the message from a node to its
+// parent maps each aligned separator group to the number of join extensions
+// in the node's subtree consistent with that separator value.
+func CountTree(t *jointree.JoinTree, rels []*relation.Relation) (int64, error) {
+	plan, err := newTreePlan(t, rels)
+	if err != nil {
+		return 0, err
+	}
+	m := len(plan.rooted.Order)
+	// messages[pos]: extension count per aligned separator group of edge pos.
+	messages := make([][]int64, m)
+
+	// aggregate computes the subtree weight of every tuple at pos and either
+	// sums weights into the edge message (pos ≥ 1) or returns the total.
+	aggregate := func(pos int) (int64, error) {
+		rel := plan.rels[pos]
+		var out []int64
+		if pos > 0 {
+			out = make([]int64, plan.groups[pos])
+		}
+		var total int64
+		for i := 0; i < rel.N(); i++ {
 			w := int64(1)
 			ok := true
-			for k, c := range children[pos] {
-				cbuf := make(relation.Tuple, len(childCols[k]))
-				for j, col := range childCols[k] {
-					cbuf[j] = tup[col]
-				}
-				cw := messages[c][relation.RowKey(cbuf)]
+			for _, c := range plan.children[pos] {
+				cw := messages[c][plan.parentIDs[c][i]]
 				if cw == 0 {
 					ok = false
 					break
 				}
 				var err error
 				if w, err = mulCheck(w, cw); err != nil {
-					return nil, err
+					return 0, err
 				}
 			}
 			if !ok {
 				continue
 			}
-			for j, col := range keyCols {
-				kbuf[j] = tup[col]
+			if pos > 0 {
+				g := plan.childIDs[pos][i]
+				s, err := addCheck(out[g], w)
+				if err != nil {
+					return 0, err
+				}
+				out[g] = s
+			} else {
+				var err error
+				if total, err = addCheck(total, w); err != nil {
+					return 0, err
+				}
 			}
-			k := relation.RowKey(kbuf)
-			s, err := addCheck(out[k], w)
-			if err != nil {
-				return nil, err
-			}
-			out[k] = s
 		}
-		return out, nil
+		messages[pos] = out
+		return total, nil
 	}
 
 	// Process in reverse DFS order (leaves first).
 	for pos := m - 1; pos >= 1; pos-- {
-		msg, err := aggregate(pos, rooted.Sep[pos])
-		if err != nil {
-			return 0, err
-		}
-		messages[pos] = msg
-	}
-	rootAgg, err := aggregate(0, nil)
-	if err != nil {
-		return 0, err
-	}
-	var total int64
-	for _, w := range rootAgg {
-		if total, err = addCheck(total, w); err != nil {
+		if _, err := aggregate(pos); err != nil {
 			return 0, err
 		}
 	}
-	return total, nil
+	return aggregate(0)
 }
 
 // CountAcyclicJoin projects r onto the schema's bags and counts the acyclic
@@ -191,37 +220,24 @@ func CountAcyclicJoin(r *relation.Relation, s *jointree.Schema) (int64, error) {
 // loses exactness above 2⁵³. Used for loss estimates of astronomically large
 // joins.
 func CountTreeFloat(t *jointree.JoinTree, rels []*relation.Relation) (float64, error) {
-	if len(rels) != t.Len() {
-		return 0, fmt.Errorf("join: %d relations for %d bags", len(rels), t.Len())
-	}
-	rooted, err := jointree.Root(t, 0)
+	plan, err := newTreePlan(t, rels)
 	if err != nil {
 		return 0, err
 	}
-	m := len(rooted.Order)
-	children := make([][]int, m)
-	for i := 1; i < m; i++ {
-		children[rooted.Parent[i]] = append(children[rooted.Parent[i]], i)
-	}
-	messages := make([]map[string]float64, m)
-	aggregate := func(pos int, keyAttrs []string) map[string]float64 {
-		rel := rels[rooted.Order[pos]]
-		keyCols := rel.MustColumns(keyAttrs)
-		childCols := make([][]int, len(children[pos]))
-		for k, c := range children[pos] {
-			childCols[k] = rel.MustColumns(rooted.Sep[c])
+	m := len(plan.rooted.Order)
+	messages := make([][]float64, m)
+	aggregate := func(pos int) float64 {
+		rel := plan.rels[pos]
+		var out []float64
+		if pos > 0 {
+			out = make([]float64, plan.groups[pos])
 		}
-		out := make(map[string]float64)
-		kbuf := make(relation.Tuple, len(keyCols))
-		for _, tup := range rel.Rows() {
+		var total float64
+		for i := 0; i < rel.N(); i++ {
 			w := 1.0
 			ok := true
-			for k, c := range children[pos] {
-				cbuf := make(relation.Tuple, len(childCols[k]))
-				for j, col := range childCols[k] {
-					cbuf[j] = tup[col]
-				}
-				cw := messages[c][relation.RowKey(cbuf)]
+			for _, c := range plan.children[pos] {
+				cw := messages[c][plan.parentIDs[c][i]]
 				if cw == 0 {
 					ok = false
 					break
@@ -231,20 +247,19 @@ func CountTreeFloat(t *jointree.JoinTree, rels []*relation.Relation) (float64, e
 			if !ok {
 				continue
 			}
-			for j, col := range keyCols {
-				kbuf[j] = tup[col]
+			if pos > 0 {
+				out[plan.childIDs[pos][i]] += w
+			} else {
+				total += w
 			}
-			out[relation.RowKey(kbuf)] += w
 		}
-		return out
+		messages[pos] = out
+		return total
 	}
 	for pos := m - 1; pos >= 1; pos-- {
-		messages[pos] = aggregate(pos, rooted.Sep[pos])
+		aggregate(pos)
 	}
-	var total float64
-	for _, w := range aggregate(0, nil) {
-		total += w
-	}
+	total := aggregate(0)
 	if math.IsInf(total, 0) || math.IsNaN(total) {
 		return 0, fmt.Errorf("join: float64 cardinality not finite")
 	}

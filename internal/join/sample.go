@@ -13,26 +13,24 @@ import (
 // root tuple is drawn with probability proportional to its number of join
 // extensions, then each child tuple is drawn conditionally on the separator
 // value, top-down. Building the sampler costs the same as CountTree; each
-// sample then costs O(Σ bag arity) map lookups plus one weighted choice per
-// bag.
+// sample then costs O(Σ bag arity) integer indexing plus one weighted choice
+// per bag — the separator buckets are addressed by aligned group-IDs, never
+// by string keys.
 //
 // Together with the loss machinery this answers "show me some spurious
 // tuples" for joins far too large to enumerate (e.g. Figure 1 at d = 1000,
 // join size 10⁶ from inputs of 9·10⁵).
 type Sampler struct {
-	rooted *jointree.Rooted
-	rels   []*relation.Relation // by DFS position
-	attrs  []string             // output attribute order (union, DFS-first)
-	// children[pos] lists DFS child positions.
-	children [][]int
+	plan  *treePlan
+	attrs []string // output attribute order (union, DFS-first)
 	// weights[pos][i] is the number of join extensions of tuple i of the
 	// relation at DFS position pos into pos's subtree.
 	weights [][]int64
-	// buckets[pos] groups tuple indexes of position pos by separator key
-	// (toward the parent); buckets[0] has a single "" bucket.
-	buckets []map[string][]int32
-	// totals[pos][sepKey] is the summed weight of a bucket.
-	totals []map[string]int64
+	// buckets[pos][g] lists tuple indexes of position pos whose aligned
+	// separator group (toward the parent) is g; buckets[0] has one bucket.
+	buckets [][][]int32
+	// totals[pos][g] is the summed weight of bucket g.
+	totals [][]int64
 	total  int64
 }
 
@@ -40,33 +38,21 @@ type Sampler struct {
 // It returns an error if the join is empty, overflows int64, or the inputs
 // mismatch the tree.
 func NewSampler(t *jointree.JoinTree, rels []*relation.Relation) (*Sampler, error) {
-	if len(rels) != t.Len() {
-		return nil, fmt.Errorf("join: %d relations for %d bags", len(rels), t.Len())
-	}
-	rooted, err := jointree.Root(t, 0)
+	plan, err := newTreePlan(t, rels)
 	if err != nil {
 		return nil, err
 	}
-	m := len(rooted.Order)
+	m := len(plan.rooted.Order)
 	s := &Sampler{
-		rooted:   rooted,
-		rels:     make([]*relation.Relation, m),
-		children: make([][]int, m),
-		weights:  make([][]int64, m),
-		buckets:  make([]map[string][]int32, m),
-		totals:   make([]map[string]int64, m),
-	}
-	for pos := 0; pos < m; pos++ {
-		s.rels[pos] = rels[rooted.Order[pos]]
-	}
-	for i := 1; i < m; i++ {
-		p := rooted.Parent[i]
-		s.children[p] = append(s.children[p], i)
+		plan:    plan,
+		weights: make([][]int64, m),
+		buckets: make([][][]int32, m),
+		totals:  make([][]int64, m),
 	}
 	// Output attribute order: first occurrence over DFS positions.
 	seen := make(map[string]bool)
 	for pos := 0; pos < m; pos++ {
-		for _, a := range rooted.Bag(pos) {
+		for _, a := range plan.rooted.Bag(pos) {
 			if !seen[a] {
 				seen[a] = true
 				s.attrs = append(s.attrs, a)
@@ -75,22 +61,18 @@ func NewSampler(t *jointree.JoinTree, rels []*relation.Relation) (*Sampler, erro
 	}
 	// Bottom-up weights, as in CountTree but retained per tuple.
 	for pos := m - 1; pos >= 0; pos-- {
-		rel := s.rels[pos]
-		childCols := make([][]int, len(s.children[pos]))
-		for k, c := range s.children[pos] {
-			childCols[k] = rel.MustColumns(rooted.Sep[c])
-		}
-		var sepCols []int
+		rel := plan.rels[pos]
+		nGroups := 1
 		if pos > 0 {
-			sepCols = rel.MustColumns(rooted.Sep[pos])
+			nGroups = plan.groups[pos]
 		}
 		weights := make([]int64, rel.N())
-		buckets := make(map[string][]int32)
-		totals := make(map[string]int64)
-		for i, tup := range rel.Rows() {
+		buckets := make([][]int32, nGroups)
+		totals := make([]int64, nGroups)
+		for i := 0; i < rel.N(); i++ {
 			w := int64(1)
-			for k, c := range s.children[pos] {
-				cw := s.totals[c][projectRowKey(tup, childCols[k])]
+			for _, c := range plan.children[pos] {
+				cw := s.totals[c][plan.parentIDs[c][i]]
 				if cw == 0 {
 					w = 0
 					break
@@ -104,34 +86,26 @@ func NewSampler(t *jointree.JoinTree, rels []*relation.Relation) (*Sampler, erro
 			if w == 0 {
 				continue
 			}
-			key := ""
+			g := int32(0)
 			if pos > 0 {
-				key = projectRowKey(tup, sepCols)
+				g = plan.childIDs[pos][i]
 			}
-			buckets[key] = append(buckets[key], int32(i))
-			tot, err := addCheck(totals[key], w)
+			buckets[g] = append(buckets[g], int32(i))
+			tot, err := addCheck(totals[g], w)
 			if err != nil {
 				return nil, err
 			}
-			totals[key] = tot
+			totals[g] = tot
 		}
 		s.weights[pos] = weights
 		s.buckets[pos] = buckets
 		s.totals[pos] = totals
 	}
-	s.total = s.totals[0][""]
+	s.total = s.totals[0][0]
 	if s.total == 0 {
 		return nil, fmt.Errorf("join: cannot sample from an empty join")
 	}
 	return s, nil
-}
-
-func projectRowKey(t relation.Tuple, cols []int) string {
-	buf := make(relation.Tuple, len(cols))
-	for i, c := range cols {
-		buf[i] = t[c]
-	}
-	return relation.RowKey(buf)
 }
 
 // Attrs returns the attribute order of sampled tuples.
@@ -147,15 +121,15 @@ func (s *Sampler) Sample(rng *rand.Rand) relation.Tuple {
 	for i, a := range s.attrs {
 		outPos[a] = i
 	}
-	s.sampleNode(rng, 0, "", out, outPos)
+	s.sampleNode(rng, 0, 0, out, outPos)
 	return out
 }
 
 // sampleNode picks a tuple of the relation at DFS position pos within the
-// given separator bucket, writes its values into out, and recurses.
-func (s *Sampler) sampleNode(rng *rand.Rand, pos int, key string, out relation.Tuple, outPos map[string]int) {
-	bucket := s.buckets[pos][key]
-	target := rng.Int64N(s.totals[pos][key])
+// given aligned separator bucket, writes its values into out, and recurses.
+func (s *Sampler) sampleNode(rng *rand.Rand, pos int, group int32, out relation.Tuple, outPos map[string]int) {
+	bucket := s.buckets[pos][group]
+	target := rng.Int64N(s.totals[pos][group])
 	var idx int32 = -1
 	for _, i := range bucket {
 		target -= s.weights[pos][i]
@@ -168,14 +142,13 @@ func (s *Sampler) sampleNode(rng *rand.Rand, pos int, key string, out relation.T
 		// Unreachable: totals are exact sums of bucket weights.
 		idx = bucket[len(bucket)-1]
 	}
-	rel := s.rels[pos]
+	rel := s.plan.rels[pos]
 	tup := rel.Row(int(idx))
 	for i, a := range rel.Attrs() {
 		out[outPos[a]] = tup[i]
 	}
-	for _, c := range s.children[pos] {
-		sepCols := rel.MustColumns(s.rooted.Sep[c])
-		s.sampleNode(rng, c, projectRowKey(tup, sepCols), out, outPos)
+	for _, c := range s.plan.children[pos] {
+		s.sampleNode(rng, c, s.plan.parentIDs[c][idx], out, outPos)
 	}
 }
 

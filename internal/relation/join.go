@@ -6,18 +6,16 @@ import "fmt"
 // the shared attributes (join key) and the s-columns that are not in r.
 type joinPlan struct {
 	outAttrs []string
-	rKeyCols []int // key columns in r
-	sKeyCols []int // key columns in s, same order as rKeyCols
-	sRest    []int // s columns appended after r's columns
+	keyAttrs []string // shared attributes, in r's order
+	sRest    []int    // s columns appended after r's columns
 }
 
 func newJoinPlan(r, s *Relation) joinPlan {
 	var p joinPlan
 	p.outAttrs = append(p.outAttrs, r.attrs...)
 	for _, a := range r.attrs {
-		if sc, ok := s.pos[a]; ok {
-			p.rKeyCols = append(p.rKeyCols, r.pos[a])
-			p.sKeyCols = append(p.sKeyCols, sc)
+		if s.HasAttr(a) {
+			p.keyAttrs = append(p.keyAttrs, a)
 		}
 	}
 	for i, a := range s.attrs {
@@ -30,36 +28,31 @@ func newJoinPlan(r, s *Relation) joinPlan {
 }
 
 // NaturalJoin returns r ⋈ s (natural join on all shared attributes). If the
-// relations share no attributes the result is the cross product.
+// relations share no attributes the result is the cross product. Matching
+// rows are bucketed by aligned group-IDs, never by string keys.
 func (r *Relation) NaturalJoin(s *Relation) *Relation {
 	p := newJoinPlan(r, s)
 	out := New(p.outAttrs...)
-
-	// Build hash partition of s on the join key.
-	buckets := make(map[string][]Tuple, s.N())
-	kbuf := make(Tuple, len(p.sKeyCols))
-	for _, t := range s.rows {
-		for i, c := range p.sKeyCols {
-			kbuf[i] = t[c]
-		}
-		k := rowKey(kbuf)
-		buckets[k] = append(buckets[k], t)
+	rIDs, sIDs, groups, err := AlignGroups(r, p.keyAttrs, s, p.keyAttrs)
+	if err != nil {
+		panic(err) // unreachable: keyAttrs are shared by construction
 	}
-
+	// Bucket s's row indexes by aligned join-key group.
+	buckets := make([][]int32, groups)
+	for j, id := range sIDs {
+		buckets[id] = append(buckets[id], int32(j))
+	}
 	row := make(Tuple, len(p.outAttrs))
-	rkbuf := make(Tuple, len(p.rKeyCols))
-	for _, rt := range r.rows {
-		for i, c := range p.rKeyCols {
-			rkbuf[i] = rt[c]
-		}
-		matches := buckets[rowKey(rkbuf)]
+	for i, rt := range r.rows {
+		matches := buckets[rIDs[i]]
 		if len(matches) == 0 {
 			continue
 		}
 		copy(row, rt)
-		for _, st := range matches {
-			for i, c := range p.sRest {
-				row[len(r.attrs)+i] = st[c]
+		for _, j := range matches {
+			st := s.rows[j]
+			for k, c := range p.sRest {
+				row[len(r.attrs)+k] = st[c]
 			}
 			out.Insert(row)
 		}
@@ -70,21 +63,17 @@ func (r *Relation) NaturalJoin(s *Relation) *Relation {
 // JoinCount returns |r ⋈ s| without materializing the join.
 func (r *Relation) JoinCount(s *Relation) int64 {
 	p := newJoinPlan(r, s)
-	counts := make(map[string]int64, s.N())
-	kbuf := make(Tuple, len(p.sKeyCols))
-	for _, t := range s.rows {
-		for i, c := range p.sKeyCols {
-			kbuf[i] = t[c]
-		}
-		counts[rowKey(kbuf)]++
+	rIDs, sIDs, groups, err := AlignGroups(r, p.keyAttrs, s, p.keyAttrs)
+	if err != nil {
+		panic(err) // unreachable: keyAttrs are shared by construction
+	}
+	counts := make([]int64, groups)
+	for _, id := range sIDs {
+		counts[id]++
 	}
 	var total int64
-	rkbuf := make(Tuple, len(p.rKeyCols))
-	for _, rt := range r.rows {
-		for i, c := range p.rKeyCols {
-			rkbuf[i] = rt[c]
-		}
-		total += counts[rowKey(rkbuf)]
+	for _, id := range rIDs {
+		total += counts[id]
 	}
 	return total
 }
@@ -105,22 +94,17 @@ func (r *Relation) Semijoin(s *Relation) *Relation {
 		}
 		return r.Clone()
 	}
-	sCols := s.MustColumns(keyAttrs)
-	present := make(map[string]struct{}, s.N())
-	kbuf := make(Tuple, len(sCols))
-	for _, t := range s.rows {
-		for i, c := range sCols {
-			kbuf[i] = t[c]
-		}
-		present[rowKey(kbuf)] = struct{}{}
+	rIDs, sIDs, groups, err := AlignGroups(r, keyAttrs, s, keyAttrs)
+	if err != nil {
+		panic(err) // unreachable: keyAttrs are shared by construction
 	}
-	rCols := r.MustColumns(keyAttrs)
+	present := make([]bool, groups)
+	for _, id := range sIDs {
+		present[id] = true
+	}
 	out := New(r.attrs...)
-	for _, t := range r.rows {
-		for i, c := range rCols {
-			kbuf[i] = t[c]
-		}
-		if _, ok := present[rowKey(kbuf)]; ok {
+	for i, t := range r.rows {
+		if present[rIDs[i]] {
 			out.Insert(t)
 		}
 	}

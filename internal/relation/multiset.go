@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Multiset is a multiset of tuples over named attributes. The paper's
@@ -20,6 +21,10 @@ type Multiset struct {
 	mult  []int64
 	index map[string]int
 	total int64
+
+	// eng is the lazily built columnar group-count engine (groupindex.go).
+	engMu sync.Mutex
+	eng   *groupEngine
 }
 
 // NewMultiset returns an empty multiset over the given attributes.
@@ -76,6 +81,7 @@ func (m *Multiset) Add(t Tuple, k int64) {
 		m.mult = append(m.mult, k)
 	}
 	m.total += k
+	m.eng = nil // invalidate the columnar engine
 }
 
 // N returns the total number of tuples counted with multiplicity. It
@@ -99,8 +105,9 @@ func (m *Multiset) Multiplicity(t Tuple) int64 {
 }
 
 // ProjectCounts returns the multiset projection onto attrs: multiplicities
-// aggregate across tuples that agree on attrs. It implements
-// infotheory.Source alongside N.
+// aggregate across tuples that agree on attrs. This is the LEGACY
+// string-keyed path kept for diagnostics and benchmark baselines; hot paths
+// use GroupCounts (groupindex.go).
 func (m *Multiset) ProjectCounts(attrs ...string) (map[string]int, error) {
 	cols := make([]int, len(attrs))
 	for i, a := range attrs {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Value is a single attribute value. Real-world values (strings, etc.) are
@@ -31,6 +32,12 @@ type Relation struct {
 	pos   map[string]int
 	rows  []Tuple
 	index map[string]int // row key -> index in rows
+
+	// eng is the lazily built columnar group-count engine (groupindex.go).
+	// Reads are safe from multiple goroutines; mutation (Insert) is not and
+	// invalidates the engine.
+	engMu sync.Mutex
+	eng   *groupEngine
 }
 
 // New returns an empty relation over the given attributes.
@@ -123,6 +130,7 @@ func (r *Relation) Insert(t Tuple) bool {
 	copy(cp, t)
 	r.index[k] = len(r.rows)
 	r.rows = append(r.rows, cp)
+	r.eng = nil // invalidate the columnar engine
 	return true
 }
 
@@ -195,9 +203,12 @@ func (r *Relation) MustProject(attrs ...string) *Relation {
 }
 
 // ProjectCounts returns the multiset projection of R onto attrs: a map from
-// encoded projected-row key to its multiplicity, plus the column positions
-// used for encoding. This is the primitive behind marginal empirical
-// distributions: P[attrs](y) = count(y)/N.
+// encoded projected-row key to its multiplicity. This is the LEGACY
+// string-keyed path: it allocates a 4·arity-byte key per row per call. Hot
+// paths use GroupCounts (groupindex.go) instead; ProjectCounts remains for
+// diagnostics that need value-addressable keys (infotheory.EmpiricalDist,
+// Factorization.Prob on arbitrary tuples) and as the baseline the bench
+// harness and parity tests compare the columnar engine against.
 func (r *Relation) ProjectCounts(attrs ...string) (map[string]int, error) {
 	cols, err := r.columns(attrs)
 	if err != nil {
@@ -238,13 +249,6 @@ func (r *Relation) SelectWhere(pred func(Tuple) bool) *Relation {
 		}
 	}
 	return out
-}
-
-// GroupSizes returns, for each distinct value combination of attrs, the
-// number of tuples carrying it. Identical to ProjectCounts but keyed by the
-// decoded values, convenient for small group-by analyses.
-func (r *Relation) GroupSizes(attrs ...string) (map[string]int, error) {
-	return r.ProjectCounts(attrs...)
 }
 
 // Equal reports whether r and s are the same set of tuples over the same

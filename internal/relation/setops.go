@@ -58,21 +58,20 @@ func (r *Relation) Union(s *Relation) (*Relation, error) {
 
 // Minus returns r \ s over r's attribute order.
 func (r *Relation) Minus(s *Relation) (*Relation, error) {
-	cols, err := r.sameSchema(s)
+	if _, err := r.sameSchema(s); err != nil {
+		return nil, err
+	}
+	rIDs, sIDs, groups, err := AlignGroups(r, r.attrs, s, r.attrs)
 	if err != nil {
 		return nil, err
 	}
-	drop := make(map[string]struct{}, s.N())
-	buf := make(Tuple, len(cols))
-	for _, t := range s.rows {
-		for i, c := range cols {
-			buf[i] = t[c]
-		}
-		drop[rowKey(buf)] = struct{}{}
+	inS := make([]bool, groups)
+	for _, id := range sIDs {
+		inS[id] = true
 	}
 	out := New(r.attrs...)
-	for _, t := range r.rows {
-		if _, gone := drop[rowKey(t)]; !gone {
+	for i, t := range r.rows {
+		if !inS[rIDs[i]] {
 			out.Insert(t)
 		}
 	}
@@ -81,21 +80,20 @@ func (r *Relation) Minus(s *Relation) (*Relation, error) {
 
 // Intersect returns r ∩ s over r's attribute order.
 func (r *Relation) Intersect(s *Relation) (*Relation, error) {
-	cols, err := r.sameSchema(s)
+	if _, err := r.sameSchema(s); err != nil {
+		return nil, err
+	}
+	rIDs, sIDs, groups, err := AlignGroups(r, r.attrs, s, r.attrs)
 	if err != nil {
 		return nil, err
 	}
-	keep := make(map[string]struct{}, s.N())
-	buf := make(Tuple, len(cols))
-	for _, t := range s.rows {
-		for i, c := range cols {
-			buf[i] = t[c]
-		}
-		keep[rowKey(buf)] = struct{}{}
+	inS := make([]bool, groups)
+	for _, id := range sIDs {
+		inS[id] = true
 	}
 	out := New(r.attrs...)
-	for _, t := range r.rows {
-		if _, ok := keep[rowKey(t)]; ok {
+	for i, t := range r.rows {
+		if inS[rIDs[i]] {
 			out.Insert(t)
 		}
 	}
