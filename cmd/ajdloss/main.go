@@ -24,15 +24,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "ajdloss:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// run keeps the report on stdout; flag errors and usage go to stderr so
+// that piped output stays machine-readable.
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ajdloss", flag.ContinueOnError)
-	fs.SetOutput(stdout)
+	fs.SetOutput(stderr)
 	csvPath := fs.String("csv", "", "CSV file containing the relation instance (required)")
 	schemaArg := fs.String("schema", "", `schema bags, e.g. "A,B;B,C" (required)`)
 	noHeader := fs.Bool("noheader", false, "CSV has no header row; attributes are c1..ck")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -19,7 +20,7 @@ func writeCSV(t *testing.T, content string) string {
 func TestRunAnalyze(t *testing.T) {
 	path := writeCSV(t, "A,B\n1,1\n2,2\n3,3\n")
 	var out strings.Builder
-	if err := run([]string{"-csv", path, "-schema", "A;B"}, &out); err != nil {
+	if err := run([]string{"-csv", path, "-schema", "A;B"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"spurious tuples   6", "J-measure", "lossless          false"} {
@@ -39,21 +40,49 @@ func TestRunErrors(t *testing.T) {
 		{"-csv", path, "-schema", "A,B;B,C;C,A"}, // unknown attr / cyclic
 	}
 	for i, args := range cases {
-		if err := run(args, &out); err == nil {
+		if err := run(args, &out, io.Discard); err == nil {
 			t.Errorf("case %d (%v) did not error", i, args)
 		}
 	}
 	// Cyclic schema over present attributes.
 	tri := writeCSV(t, "A,B,C\n1,1,1\n")
-	if err := run([]string{"-csv", tri, "-schema", "A,B;B,C;C,A"}, &out); err == nil {
+	if err := run([]string{"-csv", tri, "-schema", "A,B;B,C;C,A"}, &out, io.Discard); err == nil {
 		t.Error("cyclic schema did not error")
+	}
+}
+
+// Usage and flag errors belong on stderr; the report is the only thing
+// written to stdout.
+func TestRunStreamSeparation(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-bogus"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("flag error leaked to stdout: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "-schema") {
+		t.Fatalf("usage not on stderr: %q", stderr.String())
+	}
+}
+
+// Malformed CSV headers come back as errors naming the file, not panics.
+func TestRunMalformedCSV(t *testing.T) {
+	path := writeCSV(t, "A,,B\n1,2,3\n")
+	var out strings.Builder
+	err := run([]string{"-csv", path, "-schema", "A;B"}, &out, io.Discard)
+	if err == nil {
+		t.Fatal("empty-header CSV did not error")
+	}
+	if !strings.Contains(err.Error(), "empty attribute name") {
+		t.Fatalf("error = %q, want empty attribute name", err)
 	}
 }
 
 func TestRunNoHeader(t *testing.T) {
 	path := writeCSV(t, "1,1\n2,2\n")
 	var out strings.Builder
-	if err := run([]string{"-csv", path, "-schema", "c1;c2", "-noheader"}, &out); err != nil {
+	if err := run([]string{"-csv", path, "-schema", "c1;c2", "-noheader"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "spurious tuples   2") {

@@ -1,0 +1,124 @@
+// Command ajdlossd is the long-running concurrent analysis daemon: it keeps
+// registered CSV datasets warm (the columnar group-count engine's memoized
+// partitions and entropies survive across requests) and serves the full
+// analysis surface over HTTP as JSON — core.Analyze reports, schema
+// discovery, and entropy/MI/CMI queries — with identical concurrent requests
+// coalesced to one computation and finished results held in a bounded LRU
+// cache.
+//
+// Usage:
+//
+//	ajdlossd [-addr :8347] [-cache 256] [-load name=path.csv ...]
+//
+// Endpoints (see internal/service.NewHandler):
+//
+//	GET    /healthz
+//	GET    /stats
+//	GET    /datasets
+//	POST   /datasets?name=X[&noheader=1]      (CSV request body)
+//	DELETE /datasets/{name}
+//	GET    /analyze?dataset=X&schema=A,B|B,C
+//	GET    /discover?dataset=X[&target=0.01][&maxsep=1]
+//	GET    /entropy?dataset=X&attrs=A,B | &a=A&b=B[&given=C]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain (up to a timeout) before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ajdloss/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ajdlossd:", err)
+		os.Exit(1)
+	}
+}
+
+// preloadFlag collects repeated -load name=path.csv pairs.
+type preloadFlag []string
+
+func (p *preloadFlag) String() string     { return strings.Join(*p, ",") }
+func (p *preloadFlag) Set(v string) error { *p = append(*p, v); return nil }
+
+// run starts the daemon and blocks until ctx is cancelled (signal) or the
+// listener fails. Log lines go to stderr; the single "listening" line goes
+// to stdout so scripts can scrape the bound address. ready, if non-nil, is
+// invoked with the bound address once the server accepts connections (the
+// tests use it; main passes nil).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready func(net.Addr)) error {
+	fs := flag.NewFlagSet("ajdlossd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8347", "listen address")
+	cacheSize := fs.Int("cache", 256, "result cache capacity (entries; 0 disables)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	var loads preloadFlag
+	fs.Var(&loads, "load", "preload dataset as name=path.csv (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(*cacheSize)
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("bad -load %q, want name=path.csv", spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		d, err := svc.Registry().Register(name, f, true)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", path, err)
+		}
+		fmt.Fprintf(stderr, "loaded dataset %q: %d rows over %s\n",
+			name, d.Rel.N(), strings.Join(d.Rel.Attrs(), ","))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	fmt.Fprintf(stdout, "ajdlossd listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stderr, "ajdlossd: shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

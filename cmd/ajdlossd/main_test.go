@@ -1,0 +1,163 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon against a free port with a preloaded dataset
+// and returns its base URL plus a shutdown function that asserts a clean,
+// graceful exit.
+func startDaemon(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	csv := filepath.Join(t.TempDir(), "block.csv")
+	var rows strings.Builder
+	rows.WriteString("A,B,C\n")
+	for c := 1; c <= 3; c++ {
+		for a := 1; a <= 2; a++ {
+			for b := 1; b <= 2; b++ {
+				fmt.Fprintf(&rows, "%d,%d,%d\n", 10*c+a, 100*c+b, c)
+			}
+		}
+	}
+	if err := os.WriteFile(csv, []byte(rows.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-load", "block=" + csv}, extraArgs...)
+	go func() {
+		errc <- run(ctx, args, io.Discard, io.Discard, func(a net.Addr) { addrc <- a })
+	}()
+	select {
+	case addr := <-addrc:
+		return "http://" + addr.String(), func() error {
+			cancel()
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(5 * time.Second):
+				return fmt.Errorf("daemon did not shut down")
+			}
+		}
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	panic("unreachable")
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDaemonEndToEnd boots the daemon with a preloaded dataset, serves
+// concurrent mixed requests against the live listener, and shuts down
+// gracefully.
+func TestDaemonEndToEnd(t *testing.T) {
+	base, shutdown := startDaemon(t)
+
+	if got := getJSON(t, base+"/healthz"); got["status"] != "ok" {
+		t.Fatalf("healthz: %v", got)
+	}
+	datasets := getJSON(t, base+"/datasets")["datasets"].([]any)
+	if len(datasets) != 1 || datasets[0].(map[string]any)["name"] != "block" {
+		t.Fatalf("preload missing: %v", datasets)
+	}
+
+	// Concurrent mixed load against the live server.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					rep := getJSON(t, base+"/analyze?dataset=block&schema=A,C|B,C")
+					if rep["lossless"] != true {
+						t.Errorf("analyze: %v", rep)
+					}
+				case 1:
+					ent := getJSON(t, base+"/entropy?dataset=block&a=A&b=B&given=C")
+					if ent["nats"].(float64) > 1e-9 {
+						t.Errorf("CMI: %v", ent)
+					}
+				case 2:
+					dis := getJSON(t, base+"/discover?dataset=block&target=1e-9&maxsep=1")
+					if len(dis["mvds"].([]any)) == 0 {
+						t.Errorf("discover: %v", dis)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	stats := getJSON(t, base+"/stats")
+	if stats["requests"].(float64) < 40 || stats["errors"].(float64) != 0 {
+		t.Fatalf("stats: %v", stats)
+	}
+	// Dedup really happened: far fewer computations than requests.
+	if stats["computed"].(float64) >= stats["requests"].(float64) {
+		t.Fatalf("no dedup: %v", stats)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var stderr strings.Builder
+	if err := run(ctx, []string{"-nope"}, io.Discard, &stderr, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(stderr.String(), "-addr") {
+		t.Fatalf("usage not on stderr: %q", stderr.String())
+	}
+	if err := run(ctx, []string{"-load", "nopath"}, io.Discard, io.Discard, nil); err == nil {
+		t.Fatal("bad -load accepted")
+	}
+	if err := run(ctx, []string{"-load", "x=/does/not/exist.csv"}, io.Discard, io.Discard, nil); err == nil {
+		t.Fatal("missing preload file accepted")
+	}
+	// A malformed preload CSV must fail startup with the ingestion error.
+	dir := os.TempDir()
+	bad := filepath.Join(dir, "ajdlossd_bad_header.csv")
+	if err := os.WriteFile(bad, []byte("A,A\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(bad)
+	err := run(ctx, []string{"-load", "x=" + bad}, io.Discard, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), "duplicate attribute") {
+		t.Fatalf("malformed preload error = %v", err)
+	}
+}

@@ -24,15 +24,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "discover:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// run keeps data output on stdout; flag errors and usage go to stderr so
+// that piped output stays machine-readable.
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("discover", flag.ContinueOnError)
-	fs.SetOutput(stdout)
+	fs.SetOutput(stderr)
 	csvPath := fs.String("csv", "", "CSV file containing the relation instance (required)")
 	target := fs.Float64("target", 0.01, "J-measure target in nats")
 	maxSep := fs.Int("maxsep", 1, "maximum MVD separator size")

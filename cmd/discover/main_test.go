@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -28,7 +29,7 @@ func TestRunDiscover(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run([]string{"-csv", path, "-target", "1e-9"}, &out); err != nil {
+	if err := run([]string{"-csv", path, "-target", "1e-9"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -41,10 +42,56 @@ func TestRunDiscover(t *testing.T) {
 
 func TestRunDiscoverErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(nil, &out); err == nil {
+	if err := run(nil, &out, io.Discard); err == nil {
 		t.Fatal("missing -csv did not error")
 	}
-	if err := run([]string{"-csv", "nope.csv"}, &out); err == nil {
+	if err := run([]string{"-csv", "nope.csv"}, &out, io.Discard); err == nil {
 		t.Fatal("missing file did not error")
+	}
+}
+
+// Usage and flag errors belong on stderr; stdout must stay clean so that
+// piped data output is never polluted by diagnostics.
+func TestRunStreamSeparation(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-nope"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("flag error leaked to stdout: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "Usage") && !strings.Contains(stderr.String(), "-csv") {
+		t.Fatalf("usage not on stderr: %q", stderr.String())
+	}
+
+	// Missing required flag prints usage to stderr, nothing to stdout.
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Fatal("missing -csv did not error")
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("usage leaked to stdout: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "-csv") {
+		t.Fatalf("usage not on stderr: %q", stderr.String())
+	}
+}
+
+// A malformed CSV header must surface as a clean error naming the file —
+// never a panic (the relation.New panic was reachable here before).
+func TestRunDiscoverMalformedCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.csv")
+	if err := os.WriteFile(path, []byte("A,B,A\n1,2,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	err := run([]string{"-csv", path}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("duplicate-header CSV did not error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "dup.csv") || !strings.Contains(msg, `duplicate attribute "A"`) {
+		t.Fatalf("error = %q, want file name and duplicate attribute", msg)
 	}
 }

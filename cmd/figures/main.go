@@ -21,15 +21,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// run keeps tables on stdout; flag errors and usage go to stderr so that
+// piped output stays machine-readable.
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fs.SetOutput(stdout)
+	fs.SetOutput(stderr)
 	exp := fs.String("exp", "", "experiment id or name (default: all)")
 	list := fs.Bool("list", false, "list available experiments")
 	csvDir := fs.String("csv", "", "directory to write per-table CSV files")

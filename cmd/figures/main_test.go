@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunList(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"E1", "figure1", "E12", "compression"} {
@@ -22,7 +23,7 @@ func TestRunList(t *testing.T) {
 func TestRunOneExperimentWithCSV(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
-	if err := run([]string{"-exp", "tightness", "-csv", dir}, &out); err != nil {
+	if err := run([]string{"-exp", "tightness", "-csv", dir}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Example 4.1") {
@@ -39,7 +40,7 @@ func TestRunOneExperimentWithCSV(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+	if err := run([]string{"-exp", "nope"}, &out, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -25,15 +25,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "gendata:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// run writes the generated CSV to stdout only; flag errors and usage go to
+// stderr so the CSV stream stays clean for piping into discover/ajdloss.
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("gendata", flag.ContinueOnError)
-	fs.SetOutput(stdout)
+	fs.SetOutput(stderr)
 	kind := fs.String("kind", "random", "random | planted | diagonal | blockmvd")
 	attrs := fs.Int("attrs", 4, "number of attributes (random, planted)")
 	domain := fs.Int("domain", 8, "per-attribute domain size (random, planted)")

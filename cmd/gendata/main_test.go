@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -17,7 +18,7 @@ func TestRunKinds(t *testing.T) {
 	}
 	for _, c := range cases {
 		var out strings.Builder
-		if err := run(c.args, &out); err != nil {
+		if err := run(c.args, &out, io.Discard); err != nil {
 			t.Fatalf("%v: %v", c.args, err)
 		}
 		rows := strings.Count(strings.TrimSpace(out.String()), "\n") + 1
@@ -29,7 +30,7 @@ func TestRunKinds(t *testing.T) {
 
 func TestRunPlanted(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-kind", "planted", "-bags", "2", "-attrs", "3", "-domain", "3", "-n", "6", "-seed", "2"}, &out); err != nil {
+	if err := run([]string{"-kind", "planted", "-bags", "2", "-attrs", "3", "-domain", "3", "-n", "6", "-seed", "2"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	header := strings.SplitN(out.String(), "\n", 2)[0]
@@ -45,17 +46,17 @@ func TestRunPlanted(t *testing.T) {
 
 func TestRunUnknownKind(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-kind", "nope"}, &out); err == nil {
+	if err := run([]string{"-kind", "nope"}, &out, io.Discard); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
 }
 
 func TestRunDeterministic(t *testing.T) {
 	var a, b strings.Builder
-	if err := run([]string{"-kind", "random", "-seed", "7"}, &a); err != nil {
+	if err := run([]string{"-kind", "random", "-seed", "7"}, &a, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-kind", "random", "-seed", "7"}, &b); err != nil {
+	if err := run([]string{"-kind", "random", "-seed", "7"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {

@@ -94,22 +94,15 @@ func LegacyEntropy(r ProjectionSource, attrs ...string) (float64, error) {
 	if len(attrs) == 0 {
 		return 0, nil
 	}
-	counts, err := r.ProjectCounts(attrs...)
+	m, err := r.ProjectCounts(attrs...)
 	if err != nil {
 		return 0, err
 	}
-	if r.N() <= 0 {
-		return 0, nil
+	counts := make([]int, 0, len(m))
+	for _, c := range m {
+		counts = append(counts, c)
 	}
-	var s float64
-	for _, c := range counts {
-		if c > 1 {
-			fc := float64(c)
-			s += fc * math.Log(fc)
-		}
-	}
-	total := float64(r.N())
-	return math.Log(total) - s/total, nil
+	return EntropyFromCounts(counts, r.N()), nil
 }
 
 // MustEntropy is Entropy but panics on unknown attributes.

@@ -229,6 +229,109 @@ func TestFullReduceRemovesDanglers(t *testing.T) {
 	}
 }
 
+// TestFullReduceInconsistentIndependent exercises the reducer on
+// independently-sourced per-bag relations (NOT projections of one relation)
+// crafted so that the upward pass and the downward pass each remove
+// different danglers: upward kills (2,20) in BC and (2,2) in AB; only the
+// downward pass can then kill (9,30) in BC and (30,300) in CD, because
+// their dangling cause lives toward the root.
+func TestFullReduceInconsistentIndependent(t *testing.T) {
+	ab := relation.FromRows([]string{"A", "B"}, []relation.Tuple{{1, 1}, {2, 2}})
+	bc := relation.FromRows([]string{"B", "C"}, []relation.Tuple{{1, 10}, {2, 20}, {9, 30}})
+	cd := relation.FromRows([]string{"C", "D"}, []relation.Tuple{{10, 100}, {30, 300}})
+	tree := jointree.MustJoinTree(
+		[][]string{{"A", "B"}, {"B", "C"}, {"C", "D"}},
+		[][2]int{{0, 1}, {1, 2}},
+	)
+	rels := []*relation.Relation{ab, bc, cd}
+
+	reduced, err := FullReduce(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAB := relation.FromRows([]string{"A", "B"}, []relation.Tuple{{1, 1}})
+	wantBC := relation.FromRows([]string{"B", "C"}, []relation.Tuple{{1, 10}})
+	wantCD := relation.FromRows([]string{"C", "D"}, []relation.Tuple{{10, 100}})
+	for i, want := range []*relation.Relation{wantAB, wantBC, wantCD} {
+		if !reduced[i].Equal(want) {
+			t.Errorf("bag %d reduced to\n%vwant\n%v", i, reduced[i], want)
+		}
+	}
+	// The upward-only danglers and the downward-only danglers are both gone.
+	if reduced[1].Contains(relation.Tuple{2, 20}) {
+		t.Error("upward-pass dangler (2,20) survived")
+	}
+	if reduced[1].Contains(relation.Tuple{9, 30}) || reduced[2].Contains(relation.Tuple{30, 300}) {
+		t.Error("downward-pass danglers survived")
+	}
+	// Inputs untouched.
+	if ab.N() != 2 || bc.N() != 3 || cd.N() != 2 {
+		t.Fatal("FullReduce mutated inputs")
+	}
+	if ok, err := GloballyConsistent(tree, rels); err != nil || ok {
+		t.Fatalf("inconsistent bags reported consistent (err=%v)", err)
+	}
+	// And the reduced family IS globally consistent: reduction is idempotent.
+	if ok, err := GloballyConsistent(tree, reduced); err != nil || !ok {
+		t.Fatalf("reduced bags not consistent (err=%v)", err)
+	}
+
+	// Reduction never changes the join result: materializing the reduced
+	// bags, the original bags, and running the Yannakakis pipeline all agree.
+	direct, err := MaterializeTree(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := YannakakisJoin(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromReduced, err := MaterializeTree(tree, reduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y.EqualUpToOrder(direct) || !fromReduced.EqualUpToOrder(direct) {
+		t.Fatalf("reduction changed the join: direct\n%vyannakakis\n%vreduced\n%v", direct, y, fromReduced)
+	}
+	want := relation.FromRows([]string{"A", "B", "C", "D"}, []relation.Tuple{{1, 1, 10, 100}})
+	if !direct.EqualUpToOrder(want) {
+		t.Fatalf("join =\n%vwant\n%v", direct, want)
+	}
+	// The counting path agrees on both the original and the reduced bags.
+	for _, in := range [][]*relation.Relation{rels, reduced} {
+		if n, err := CountTree(tree, in); err != nil || n != 1 {
+			t.Fatalf("CountTree = %d, %v; want 1", n, err)
+		}
+	}
+}
+
+// TestFullReduceEmptyIntersection: a bag whose every tuple dangles reduces
+// to empty, and the global join is empty — reduction must agree with the
+// direct join on the degenerate case too.
+func TestFullReduceToEmpty(t *testing.T) {
+	ab := relation.FromRows([]string{"A", "B"}, []relation.Tuple{{1, 1}, {2, 2}})
+	bc := relation.FromRows([]string{"B", "C"}, []relation.Tuple{{7, 1}, {8, 2}}) // no B overlap
+	tree := jointree.MustJoinTree([][]string{{"A", "B"}, {"B", "C"}}, [][2]int{{0, 1}})
+	rels := []*relation.Relation{ab, bc}
+	reduced, err := FullReduce(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced[0].N() != 0 || reduced[1].N() != 0 {
+		t.Fatalf("reduction left %d/%d tuples", reduced[0].N(), reduced[1].N())
+	}
+	if n, err := CountTree(tree, rels); err != nil || n != 0 {
+		t.Fatalf("CountTree = %d, %v; want 0", n, err)
+	}
+	direct, err := MaterializeTree(tree, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.N() != 0 {
+		t.Fatalf("join has %d tuples, want 0", direct.N())
+	}
+}
+
 func TestYannakakisEqualsMaterialize(t *testing.T) {
 	rng := rand.New(rand.NewPCG(11, 12))
 	tree := chainTree(t)

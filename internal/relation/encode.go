@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Encoder dictionary-encodes string-valued records into Tuples, one
@@ -67,9 +68,33 @@ func (e *Encoder) Decode(t Tuple) []string {
 // DomainSize returns the dictionary size of attribute index i.
 func (e *Encoder) DomainSize(i int) int { return len(e.rev[i]) }
 
+// ValidateHeader checks a CSV header row: every attribute name must be
+// non-empty (whitespace-only counts as empty) and unique. It returns the
+// first violation, phrased for end-user display (the CLIs and the analysis
+// service wrap it with the file or request context).
+func ValidateHeader(attrs []string) error {
+	if len(attrs) == 0 {
+		return fmt.Errorf("empty header row")
+	}
+	seen := make(map[string]struct{}, len(attrs))
+	for i, a := range attrs {
+		if strings.TrimSpace(a) == "" {
+			return fmt.Errorf("empty attribute name in header (column %d)", i+1)
+		}
+		if _, dup := seen[a]; dup {
+			return fmt.Errorf("duplicate attribute %q in header", a)
+		}
+		seen[a] = struct{}{}
+	}
+	return nil
+}
+
 // ReadCSV reads a CSV stream into a relation. If header is true the first
 // record supplies attribute names; otherwise attributes are named c1..ck.
 // The returned Encoder maps between the CSV strings and the encoded values.
+// Malformed headers (duplicate, empty, or whitespace-only cells) and ragged
+// records are reported as errors — ReadCSV never panics on bad input, which
+// is what the long-running analysis service relies on.
 func ReadCSV(r io.Reader, header bool) (*Relation, *Encoder, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -83,6 +108,9 @@ func ReadCSV(r io.Reader, header bool) (*Relation, *Encoder, error) {
 	var attrs []string
 	var pending [][]string
 	if header {
+		if err := ValidateHeader(first); err != nil {
+			return nil, nil, err
+		}
 		attrs = first
 	} else {
 		attrs = make([]string, len(first))

@@ -73,6 +73,60 @@ func TestReadCSVEmpty(t *testing.T) {
 	}
 }
 
+// Malformed headers used to panic inside relation.New; a long-running
+// service cannot tolerate a panic on the ingestion path, so ReadCSV must
+// surface them as errors (ISSUE 2 headline bugfix).
+func TestReadCSVMalformedHeader(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"duplicate", "A,B,A\n1,2,3\n", `duplicate attribute "A"`},
+		{"empty", "A,,C\n1,2,3\n", "empty attribute name"},
+		{"whitespace", "A,  ,C\n1,2,3\n", "empty attribute name"},
+		{"tab", "A,\t,C\n1,2,3\n", "empty attribute name"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("ReadCSV panicked: %v", p)
+				}
+			}()
+			_, _, err := ReadCSV(strings.NewReader(c.in), true)
+			if err == nil {
+				t.Fatalf("malformed header %q did not error", c.in)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %q, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestReadCSVRagged(t *testing.T) {
+	cases := []string{
+		"A,B\n1,2,3\n", // too many fields
+		"A,B\n1\n",     // too few fields
+		"1,2\n3\n",     // ragged without header
+	}
+	for _, in := range cases {
+		if _, _, err := ReadCSV(strings.NewReader(in), strings.Contains(in, "A")); err == nil {
+			t.Errorf("ragged CSV %q did not error", in)
+		}
+	}
+}
+
+func TestValidateHeader(t *testing.T) {
+	if err := ValidateHeader([]string{"A", "B"}); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	for _, bad := range [][]string{nil, {}, {"A", "A"}, {""}, {" "}, {"A", "\t"}} {
+		if err := ValidateHeader(bad); err == nil {
+			t.Errorf("header %q accepted", bad)
+		}
+	}
+}
+
 func TestWriteCSVRoundTrip(t *testing.T) {
 	in := "A,B\nx,1\ny,2\n"
 	r, enc, err := ReadCSV(strings.NewReader(in), true)

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ajdloss/internal/randrel"
+	"ajdloss/internal/relation"
+)
+
+// benchService registers a 6-attribute random relation (the discovery
+// stress shape from the repo's bench harness) as a warm dataset.
+func benchService(b *testing.B, n, cacheSize int) *Service {
+	b.Helper()
+	model := randrel.Model{
+		Attrs:   []string{"A", "B", "C", "D", "E", "F"},
+		Domains: []int{16, 16, 16, 16, 16, 16},
+		N:       n,
+	}
+	r, err := model.Sample(randrel.NewRand(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := relation.WriteCSV(&csv, r, nil); err != nil {
+		b.Fatal(err)
+	}
+	s := New(cacheSize)
+	if _, err := s.Registry().Register("bench", bytes.NewReader(csv.Bytes()), true); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkServeMixed is the serving-throughput benchmark of EXPERIMENTS.md:
+// concurrent clients issue a mixed analyze/entropy/discover workload against
+// one registered dataset. With the warm engine, the LRU cache, and request
+// coalescing, steady-state requests are answered from memoized results, so
+// ns/op ≈ per-request latency at full parallelism (req/sec reported
+// explicitly as a custom metric).
+func BenchmarkServeMixed(b *testing.B) {
+	for _, n := range []int{2000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchService(b, n, 128)
+			schemas := []string{"A,B;B,C;C,D;D,E;E,F", "A,B,C;C,D,E;E,F", "A,B,C,D;D,E,F"}
+			entropies := [][]string{{"A", "B"}, {"C", "D"}, {"A", "E", "F"}, {"B"}}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					switch i % 8 {
+					case 0:
+						if _, err := s.Discover("bench", 0.01, 1); err != nil {
+							b.Fatal(err)
+						}
+					case 1, 2, 3:
+						if _, err := s.Analyze("bench", schemas[i%len(schemas)]); err != nil {
+							b.Fatal(err)
+						}
+					default:
+						attrs := entropies[i%len(entropies)]
+						if _, err := s.Entropy("bench", attrs, nil, nil, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
+// BenchmarkServeColdAnalyze measures the other end of the serving spectrum:
+// every request analyzes a distinct schema, so neither the cache nor
+// coalescing can help and each request pays a real computation (the engine
+// memo still amortizes the entropy terms).
+func BenchmarkServeColdAnalyze(b *testing.B) {
+	s := benchService(b, 2000, 0)
+	attrs := []string{"A", "B", "C", "D", "E", "F"}
+	// Rotate the chain's start attribute: each rotation is a distinct
+	// covering chain schema, so requests cycle through 6 different keys.
+	schemas := make([]string, len(attrs))
+	for r := range attrs {
+		var bags []string
+		for k := 0; k+1 < len(attrs); k++ {
+			bags = append(bags, attrs[(r+k)%6]+","+attrs[(r+k+1)%6])
+		}
+		schemas[r] = strings.Join(bags, ";")
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if _, err := s.Analyze("bench", schemas[i%len(schemas)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

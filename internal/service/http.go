@@ -1,0 +1,186 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// maxUploadBytes caps a POST /datasets body. 512 MiB of CSV is far beyond
+// the in-memory relation sizes the analysis engine targets.
+const maxUploadBytes = 512 << 20
+
+// NewHandler returns the HTTP API of the analysis service:
+//
+//	GET    /healthz                      liveness probe
+//	GET    /stats                        request counters
+//	GET    /datasets                     list registered datasets
+//	POST   /datasets?name=X[&noheader=1] register the CSV request body
+//	DELETE /datasets/{name}              deregister a dataset
+//	GET    /analyze?dataset=X&schema=A,B|B,C   ('|' or %3B between bags)
+//	GET    /discover?dataset=X[&target=0.01][&maxsep=1]
+//	GET    /entropy?dataset=X&attrs=A,B[&given=C]
+//	GET    /entropy?dataset=X&a=A&b=B[&given=C]
+//
+// Every response is JSON. Errors come back as {"error": "..."} with 400
+// (bad request/ingestion), 404 (unknown dataset or route), or 409
+// (duplicate dataset name).
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Registry().List()})
+	})
+	mux.HandleFunc("POST /datasets", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("name")
+		noHeader, err := queryBool(r.URL.Query().Get("noheader"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Bound the upload: a single unbounded (or endless chunked) body must
+		// not be able to OOM the long-running daemon.
+		d, err := s.Registry().Register(name, http.MaxBytesReader(w, r.Body, maxUploadBytes), !noHeader)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrAlreadyRegistered) {
+				status = http.StatusConflict
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, d.Info())
+	})
+	mux.HandleFunc("DELETE /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !s.Remove(name) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown dataset %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+	})
+	mux.HandleFunc("GET /analyze", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		// Raw ';' in a query string is treated as a separator and dropped by
+		// net/http, so the schema syntax also accepts '|' between bags:
+		// schema=A,C|B,C (or URL-encode the ';' as %3B).
+		schema := strings.ReplaceAll(q.Get("schema"), "|", ";")
+		v, err := s.Analyze(q.Get("dataset"), schema)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /discover", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		target, err := queryFloat(q.Get("target"), 0.01)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		maxSep, err := queryInt(q.Get("maxsep"), 1)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		v, err := s.Discover(q.Get("dataset"), target, maxSep)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /entropy", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		v, err := s.Entropy(q.Get("dataset"),
+			queryList(q.Get("attrs")), queryList(q.Get("a")), queryList(q.Get("b")), queryList(q.Get("given")))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	return mux
+}
+
+// statusFor maps service errors onto HTTP statuses: unknown datasets are
+// 404, everything else a caller can fix is 400.
+func statusFor(err error) int {
+	if errors.Is(err, ErrUnknownDataset) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// queryBool parses a boolean query parameter; absent means false.
+func queryBool(s string) (bool, error) {
+	if s == "" {
+		return false, nil
+	}
+	v, err := strconv.ParseBool(s)
+	if err != nil {
+		return false, fmt.Errorf("service: bad boolean parameter %q", s)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// queryList splits a comma-separated attribute list; empty input is nil.
+func queryList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func queryFloat(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("service: bad numeric parameter %q", s)
+	}
+	return v, nil
+}
+
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("service: bad integer parameter %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func httpFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(New(32)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func doReq(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: non-JSON response: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	srv := httpFixture(t)
+
+	if code, body := doReq(t, "GET", srv.URL+"/healthz", ""); code != 200 || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+
+	// Register a dataset, then run every analysis endpoint against it.
+	code, body := doReq(t, "POST", srv.URL+"/datasets?name=block", blockCSV(3, 2, 2))
+	if code != http.StatusCreated || body["rows"] != float64(12) {
+		t.Fatalf("register: %d %v", code, body)
+	}
+
+	// Duplicate name → 409.
+	if code, _ := doReq(t, "POST", srv.URL+"/datasets?name=block", blockCSV(2, 2, 2)); code != http.StatusConflict {
+		t.Fatalf("duplicate register: %d", code)
+	}
+
+	// Malformed CSV (duplicate header) → 400 with the ingestion error, not
+	// a panic/500: the headline bugfix observed end-to-end.
+	code, body = doReq(t, "POST", srv.URL+"/datasets?name=bad", "A,B,A\n1,2,3\n")
+	if code != http.StatusBadRequest || !strings.Contains(body["error"].(string), `duplicate attribute "A"`) {
+		t.Fatalf("malformed register: %d %v", code, body)
+	}
+
+	code, body = doReq(t, "GET", srv.URL+"/datasets", "")
+	if code != 200 || len(body["datasets"].([]any)) != 1 {
+		t.Fatalf("list: %d %v", code, body)
+	}
+
+	// '|' is the query-safe bag separator; %3B (escaped ';') works too.
+	code, body = doReq(t, "GET", srv.URL+"/analyze?dataset=block&schema=A,C|B,C", "")
+	if code != 200 || body["lossless"] != true {
+		t.Fatalf("analyze: %d %v", code, body)
+	}
+	code, body = doReq(t, "GET", srv.URL+"/analyze?dataset=block&schema=A,C%3BB,C", "")
+	if code != 200 || body["lossless"] != true {
+		t.Fatalf("analyze (%%3B): %d %v", code, body)
+	}
+
+	code, body = doReq(t, "GET", srv.URL+"/discover?dataset=block&target=1e-9&maxsep=1", "")
+	if code != 200 || body["dataset"] != "block" {
+		t.Fatalf("discover: %d %v", code, body)
+	}
+	if mvds := body["mvds"].([]any); len(mvds) == 0 {
+		t.Fatal("discover returned no MVDs")
+	}
+
+	code, body = doReq(t, "GET", srv.URL+"/entropy?dataset=block&a=A&b=B&given=C", "")
+	if code != 200 || body["kind"] != "cmi" || body["nats"].(float64) > 1e-9 {
+		t.Fatalf("entropy: %d %v", code, body)
+	}
+
+	code, body = doReq(t, "GET", srv.URL+"/stats", "")
+	if code != 200 || body["requests"].(float64) < 3 {
+		t.Fatalf("stats: %d %v", code, body)
+	}
+
+	if code, _ := doReq(t, "DELETE", srv.URL+"/datasets/block", ""); code != 200 {
+		t.Fatalf("delete: %d", code)
+	}
+	if code, _ := doReq(t, "DELETE", srv.URL+"/datasets/block", ""); code != http.StatusNotFound {
+		t.Fatalf("re-delete: %d", code)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv := httpFixture(t)
+	cases := []struct {
+		method, path string
+		wantCode     int
+	}{
+		{"GET", "/analyze?dataset=missing&schema=A;B", http.StatusNotFound},
+		{"GET", "/discover?dataset=missing", http.StatusNotFound},
+		{"GET", "/entropy?dataset=missing&attrs=A", http.StatusNotFound},
+		{"GET", "/discover?dataset=missing&target=zzz", http.StatusBadRequest},
+		{"GET", "/discover?dataset=missing&maxsep=1.5", http.StatusBadRequest},
+		{"POST", "/datasets?name=", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		code, body := doReq(t, c.method, srv.URL+c.path, "")
+		if code != c.wantCode {
+			t.Errorf("%s %s = %d (%v), want %d", c.method, c.path, code, body, c.wantCode)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s %s: empty error body", c.method, c.path)
+		}
+	}
+}
+
+// TestHTTPNoHeaderRegistration exercises the noheader query parameter: the
+// columns are named c1..ck.
+func TestHTTPNoHeaderRegistration(t *testing.T) {
+	srv := httpFixture(t)
+	code, body := doReq(t, "POST", srv.URL+"/datasets?name=raw&noheader=1", "1,2\n3,4\n")
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	attrs := body["attrs"].([]any)
+	if len(attrs) != 2 || attrs[0] != "c1" || attrs[1] != "c2" {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	if code, body := doReq(t, "GET", srv.URL+"/entropy?dataset=raw&attrs=c1,c2", ""); code != 200 {
+		t.Fatalf("entropy: %d %v", code, body)
+	}
+	// noheader=0 means "has a header": the first row names the columns.
+	code, body = doReq(t, "POST", srv.URL+"/datasets?name=hdr&noheader=0", "X,Y\n1,2\n")
+	if code != http.StatusCreated || body["attrs"].([]any)[0] != "X" {
+		t.Fatalf("noheader=0: %d %v", code, body)
+	}
+	// Unparseable boolean → 400, not silent truth.
+	if code, _ := doReq(t, "POST", srv.URL+"/datasets?name=z&noheader=maybe", "A\n1\n"); code != http.StatusBadRequest {
+		t.Fatalf("noheader=maybe: %d", code)
+	}
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"ajdloss/internal/infotheory"
+	"ajdloss/internal/relation"
+)
+
+// ErrAlreadyRegistered is wrapped by Register when the name is taken; the
+// HTTP layer maps it to 409 via errors.Is.
+var ErrAlreadyRegistered = errors.New("dataset already registered")
+
+// Dataset is an ingested relation instance held warm by the registry: the
+// decoded Relation keeps its columnar group-count engine (and with it every
+// memoized partition and entropy) alive across requests, which is what turns
+// the engine's amortized speedup into cross-request serving capacity.
+//
+// A Dataset is immutable after registration; all its methods and the
+// underlying engine are safe for concurrent readers.
+type Dataset struct {
+	// ID is unique per registration (never reused), so cached results keyed
+	// by ID can never be served for a later dataset of the same name.
+	ID           int64
+	Name         string
+	Rel          *relation.Relation
+	Enc          *relation.Encoder
+	RegisteredAt time.Time
+}
+
+// Info is the serializable summary of a registered dataset.
+type Info struct {
+	Name         string   `json:"name"`
+	Rows         int      `json:"rows"`
+	Attrs        []string `json:"attrs"`
+	RegisteredAt string   `json:"registered_at"`
+}
+
+// Info returns the dataset's serializable summary.
+func (d *Dataset) Info() Info {
+	return Info{
+		Name:         d.Name,
+		Rows:         d.Rel.N(),
+		Attrs:        d.Rel.Attrs(),
+		RegisteredAt: d.RegisteredAt.UTC().Format(time.RFC3339),
+	}
+}
+
+// Registry holds named datasets for the analysis service. CSV ingestion
+// happens exactly once per dataset; every later request reads the same warm
+// Relation.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Dataset
+	nextID int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Dataset)}
+}
+
+// Register ingests a CSV stream under the given name. Malformed CSV input
+// (duplicate/empty header cells, ragged records) is reported as an error —
+// the ingestion path must never panic in a long-running service. Registering
+// an existing name is an error; Remove it first.
+func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("service: dataset name must be non-empty")
+	}
+	// Cheap pre-check before paying for ingestion: a taken name fails here
+	// without decoding the body. The authoritative check under the write
+	// lock below still guards against two concurrent registrations racing
+	// past this point.
+	if _, taken := g.Get(name); taken {
+		return nil, fmt.Errorf("service: %w: %q", ErrAlreadyRegistered, name)
+	}
+	rel, enc, err := relation.ReadCSV(r, header)
+	if err != nil {
+		return nil, fmt.Errorf("ingesting dataset %q: %w", name, err)
+	}
+	if rel.N() == 0 {
+		return nil, fmt.Errorf("service: dataset %q has no rows", name)
+	}
+	// Warm the engine before publishing: the per-attribute singleton
+	// entropies build the column mirror and seed the partition memo, so the
+	// first analysis request does not pay the cold start.
+	for _, a := range rel.Attrs() {
+		if _, err := infotheory.Entropy(rel, a); err != nil {
+			return nil, fmt.Errorf("service: warming dataset %q: %w", name, err)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, exists := g.byName[name]; exists {
+		return nil, fmt.Errorf("service: %w: %q", ErrAlreadyRegistered, name)
+	}
+	g.nextID++
+	d := &Dataset{
+		ID:           g.nextID,
+		Name:         name,
+		Rel:          rel,
+		Enc:          enc,
+		RegisteredAt: time.Now(),
+	}
+	g.byName[name] = d
+	return d, nil
+}
+
+// Get returns the dataset registered under name.
+func (g *Registry) Get(name string) (*Dataset, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	d, ok := g.byName[name]
+	return d, ok
+}
+
+// Remove deregisters name and returns the removed dataset, if any.
+func (g *Registry) Remove(name string) (*Dataset, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d, ok := g.byName[name]
+	if ok {
+		delete(g.byName, name)
+	}
+	return d, ok
+}
+
+// List returns summaries of all datasets, sorted by name.
+func (g *Registry) List() []Info {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Info, 0, len(g.byName))
+	for _, d := range g.byName {
+		out = append(out, d.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

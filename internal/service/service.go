@@ -1,0 +1,301 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"ajdloss/internal/core"
+	"ajdloss/internal/discovery"
+	"ajdloss/internal/infotheory"
+	"ajdloss/internal/jointree"
+)
+
+// ErrUnknownDataset is wrapped by every request against an unregistered
+// dataset name; the HTTP layer maps it to 404 via errors.Is.
+var ErrUnknownDataset = errors.New("unknown dataset")
+
+// Stats are the service's monotonic request counters, readable while the
+// service is under load.
+type Stats struct {
+	Requests  int64 `json:"requests"`   // analysis requests received
+	CacheHits int64 `json:"cache_hits"` // answered from the LRU cache
+	Coalesced int64 `json:"coalesced"`  // joined an identical in-flight computation
+	Computed  int64 `json:"computed"`   // actually executed
+	Errors    int64 `json:"errors"`     // requests that returned an error
+}
+
+// Service is the concurrent analysis engine behind cmd/ajdlossd: a dataset
+// registry plus request coalescing (identical concurrent analyses compute
+// once) and a bounded LRU cache of finished results. All methods are safe
+// for concurrent use; results are immutable views shared between callers.
+type Service struct {
+	reg   *Registry
+	sf    flightGroup
+	cache *lruCache
+
+	requests  atomic.Int64
+	cacheHits atomic.Int64
+	coalesced atomic.Int64
+	computed  atomic.Int64
+	errors    atomic.Int64
+}
+
+// New returns a service with the given result-cache capacity (entries, not
+// bytes; 0 disables caching but keeps coalescing).
+func New(cacheSize int) *Service {
+	return &Service{reg: NewRegistry(), cache: newLRUCache(cacheSize)}
+}
+
+// Registry exposes the dataset registry (registration, listing, removal).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Remove deregisters a dataset and drops its cached results.
+func (s *Service) Remove(name string) bool {
+	d, ok := s.reg.Remove(name)
+	if ok {
+		s.cache.RemovePrefix(datasetPrefix(d.ID))
+	}
+	return ok
+}
+
+// Stats returns a snapshot of the request counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Requests:  s.requests.Load(),
+		CacheHits: s.cacheHits.Load(),
+		Coalesced: s.coalesced.Load(),
+		Computed:  s.computed.Load(),
+		Errors:    s.errors.Load(),
+	}
+}
+
+func datasetPrefix(id int64) string { return "d" + strconv.FormatInt(id, 10) + "|" }
+
+// do is the shared request path: LRU lookup, then singleflight-coalesced
+// computation, then cache fill. Errors are never cached (a transient
+// formulation error must not poison the key), but concurrent identical
+// failures still coalesce. The cache is only filled while d is still the
+// registered dataset, which shrinks (not fully closes: the membership check
+// and the Add are not one atomic step against Remove) the window in which a
+// computation outliving a DELETE parks a dead entry in the LRU; such an
+// entry is unservable but harmless and ages out by eviction.
+func (s *Service) do(d *Dataset, key string, fn func() (any, error)) (any, error) {
+	s.requests.Add(1)
+	if v, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		return v, nil
+	}
+	v, err, shared := s.sf.Do(key, func() (any, error) {
+		s.computed.Add(1)
+		v, err := fn()
+		if err == nil {
+			if cur, ok := s.reg.Get(d.Name); ok && cur.ID == d.ID {
+				s.cache.Add(key, v)
+			}
+		}
+		return v, err
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	return v, nil
+}
+
+// reject accounts a request that failed validation before reaching do(), so
+// Stats sees every request, not only the well-formed ones.
+func (s *Service) reject(err error) error {
+	s.requests.Add(1)
+	s.errors.Add(1)
+	return err
+}
+
+func (s *Service) dataset(name string) (*Dataset, error) {
+	d, ok := s.reg.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("service: %w %q", ErrUnknownDataset, name)
+	}
+	return d, nil
+}
+
+// attrsKey renders attribute lists into a canonical request-key fragment.
+// Each name is quoted, so names containing separators (a quoted CSV header
+// cell like "A,B" is legal) cannot collide with a list of plain names.
+func attrsKey(lists ...[]string) string {
+	parts := make([]string, len(lists))
+	for i, l := range lists {
+		sorted := append([]string(nil), l...)
+		sort.Strings(sorted)
+		quoted := make([]string, len(sorted))
+		for j, a := range sorted {
+			quoted[j] = strconv.Quote(a)
+		}
+		parts[i] = strings.Join(quoted, ",")
+	}
+	return strings.Join(parts, ";")
+}
+
+// Analyze runs the full core.Analyze report of the schema (in the CLI's
+// "A,B;B,C" syntax) against the named dataset.
+func (s *Service) Analyze(dataset, schemaStr string) (*ReportView, error) {
+	d, err := s.dataset(dataset)
+	if err != nil {
+		return nil, s.reject(err)
+	}
+	schema, err := jointree.ParseSchema(schemaStr)
+	if err != nil {
+		return nil, s.reject(err)
+	}
+	if !jointree.IsAcyclic(schema) {
+		return nil, s.reject(fmt.Errorf("service: schema %s is cyclic; only acyclic schemas have join trees", schema))
+	}
+	key := datasetPrefix(d.ID) + "analyze|" + schema.String()
+	v, err := s.do(d, key, func() (any, error) {
+		rep, err := core.Analyze(d.Rel, schema)
+		if err != nil {
+			return nil, err
+		}
+		return NewReportView(rep), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ReportView), nil
+}
+
+// Discover runs schema discovery (Chow-Liu, coarsening to the target
+// J-measure, and approximate-MVD mining with separators of size ≤ maxSep)
+// against the named dataset.
+func (s *Service) Discover(dataset string, target float64, maxSep int) (*DiscoverView, error) {
+	d, err := s.dataset(dataset)
+	if err != nil {
+		return nil, s.reject(err)
+	}
+	key := datasetPrefix(d.ID) + "discover|" + strconv.FormatFloat(target, 'g', -1, 64) + "|" + strconv.Itoa(maxSep)
+	v, err := s.do(d, key, func() (any, error) {
+		return s.discover(d, target, maxSep)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*DiscoverView), nil
+}
+
+func (s *Service) discover(d *Dataset, target float64, maxSep int) (*DiscoverView, error) {
+	cl, err := discovery.ChowLiu(d.Rel)
+	if err != nil {
+		return nil, err
+	}
+	clLoss, err := core.ComputeLossTree(d.Rel, cl.Tree)
+	if err != nil {
+		return nil, err
+	}
+	path, err := discovery.Coarsen(d.Rel, cl.Tree, target)
+	if err != nil {
+		return nil, err
+	}
+	best := path[len(path)-1]
+	bestLoss := clLoss
+	if len(path) > 1 {
+		if bestLoss, err = core.ComputeLossTree(d.Rel, best.Tree); err != nil {
+			return nil, err
+		}
+	}
+	mvds, err := discovery.FindMVDs(d.Rel, maxSep, target)
+	if err != nil {
+		return nil, err
+	}
+	view := &DiscoverView{
+		Dataset:      d.Name,
+		Rows:         d.Rel.N(),
+		Target:       target,
+		MaxSep:       maxSep,
+		ChowLiu:      candidateView(cl, clLoss),
+		Best:         candidateView(best, bestLoss),
+		Contractions: len(path) - 1,
+	}
+	for _, m := range mvds {
+		schema, err := jointree.MVDSchema(m.X, m.Groups...)
+		if err != nil {
+			return nil, err
+		}
+		loss, err := core.ComputeLoss(d.Rel, schema)
+		if err != nil {
+			return nil, err
+		}
+		view.MVDs = append(view.MVDs, MVDCandidateView{X: m.X, Groups: m.Groups, J: m.J, Rho: loss.Rho})
+	}
+	return view, nil
+}
+
+// Entropy answers an entropy-family query against the named dataset:
+//
+//   - attrs only:            H(attrs)
+//   - attrs + given:         H(attrs | given)
+//   - a + b:                 I(a ; b)
+//   - a + b + given:         I(a ; b | given)
+//
+// Exactly one of (attrs) or (a,b) must be provided.
+func (s *Service) Entropy(dataset string, attrs, a, b, given []string) (*EntropyView, error) {
+	d, err := s.dataset(dataset)
+	if err != nil {
+		return nil, s.reject(err)
+	}
+	pairMode := len(a) > 0 || len(b) > 0
+	switch {
+	case pairMode && len(attrs) > 0:
+		return nil, s.reject(fmt.Errorf("service: entropy query takes either attrs or a+b, not both"))
+	case pairMode && (len(a) == 0 || len(b) == 0):
+		return nil, s.reject(fmt.Errorf("service: mutual information needs both a and b"))
+	case !pairMode && len(attrs) == 0:
+		return nil, s.reject(fmt.Errorf("service: entropy query needs attrs (or a and b)"))
+	}
+	var kind string
+	switch {
+	case pairMode && len(given) > 0:
+		kind = "cmi"
+	case pairMode:
+		kind = "mi"
+	case len(given) > 0:
+		kind = "conditional_entropy"
+	default:
+		kind = "entropy"
+	}
+	key := datasetPrefix(d.ID) + "entropy|" + kind + "|" + attrsKey(attrs, a, b, given)
+	v, err := s.do(d, key, func() (any, error) {
+		var nats float64
+		var err error
+		switch kind {
+		case "entropy":
+			nats, err = infotheory.Entropy(d.Rel, attrs...)
+		case "conditional_entropy":
+			nats, err = infotheory.ConditionalEntropy(d.Rel, attrs, given)
+		case "mi", "cmi":
+			nats, err = infotheory.ConditionalMutualInformation(d.Rel, a, b, given)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &EntropyView{
+			Dataset: d.Name,
+			Kind:    kind,
+			Attrs:   attrs,
+			A:       a,
+			B:       b,
+			Given:   given,
+			Nats:    nats,
+			Bits:    infotheory.Bits(nats),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*EntropyView), nil
+}

@@ -1,0 +1,154 @@
+// Package service turns the one-shot analysis machinery (core.Analyze, the
+// discovery searches, the entropy/MI/CMI measures) into a long-running
+// concurrent analysis engine: a registry of warm datasets, serializable JSON
+// views of every result, request coalescing so identical concurrent analyses
+// compute once, and a bounded LRU cache of finished results. cmd/ajdlossd
+// exposes it over HTTP.
+package service
+
+import (
+	"ajdloss/internal/core"
+	"ajdloss/internal/discovery"
+	"ajdloss/internal/infotheory"
+	"ajdloss/internal/jointree"
+)
+
+// LossView is the serializable form of core.Loss.
+type LossView struct {
+	N             int     `json:"n"`
+	JoinSize      int64   `json:"join_size"`
+	Spurious      int64   `json:"spurious"`
+	Rho           float64 `json:"rho"`
+	LogOnePlusRho float64 `json:"log_one_plus_rho"`
+}
+
+func newLossView(l core.Loss) LossView {
+	return LossView{
+		N:             l.N,
+		JoinSize:      l.JoinSize,
+		Spurious:      l.Spurious,
+		Rho:           l.Rho,
+		LogOnePlusRho: l.LogOnePlusRho(),
+	}
+}
+
+// MVDView is the serializable form of an MVD X ↠ Y | Z.
+type MVDView struct {
+	X       []string `json:"x"`
+	Y       []string `json:"y"`
+	Z       []string `json:"z"`
+	Display string   `json:"display"`
+}
+
+func newMVDView(m jointree.MVD) MVDView {
+	return MVDView{X: m.X, Y: m.Y, Z: m.Z, Display: m.String()}
+}
+
+// MVDTermView is one support MVD of a report: its loss, CMI, and the
+// Proposition 5.1 term log(1+ρ).
+type MVDTermView struct {
+	MVD           MVDView  `json:"mvd"`
+	Loss          LossView `json:"loss"`
+	CMI           float64  `json:"cmi"`
+	LogOnePlusRho float64  `json:"log_one_plus_rho"`
+}
+
+// ReportView is the serializable form of core.Report: every quantity the
+// paper relates, side by side, plus both J units for convenience.
+type ReportView struct {
+	Schema     string        `json:"schema"`
+	Bags       [][]string    `json:"bags"`
+	N          int           `json:"n"`
+	J          float64       `json:"j_nats"`
+	JBits      float64       `json:"j_bits"`
+	KL         float64       `json:"kl_nats"`
+	Loss       LossView      `json:"loss"`
+	RhoLower   float64       `json:"rho_lower_bound"`
+	MaxCMI     float64       `json:"max_cmi"`
+	SumCMI     float64       `json:"sum_cmi"`
+	SumLogLoss float64       `json:"sum_log_loss"`
+	Lossless   bool          `json:"lossless"`
+	Support    []MVDTermView `json:"support_mvds,omitempty"`
+}
+
+// NewReportView converts a core.Report into its serializable view.
+func NewReportView(rep *core.Report) *ReportView {
+	v := &ReportView{
+		Schema:     rep.Schema.String(),
+		Bags:       rep.Schema.Bags(),
+		N:          rep.N,
+		J:          rep.J,
+		JBits:      infotheory.Bits(rep.J),
+		KL:         rep.KL,
+		Loss:       newLossView(rep.Loss),
+		RhoLower:   rep.RhoLower,
+		MaxCMI:     rep.MaxCMI,
+		SumCMI:     rep.SumCMI,
+		SumLogLoss: rep.SumLogLoss,
+		Lossless:   rep.Lossless,
+	}
+	for _, t := range rep.PerMVD {
+		v.Support = append(v.Support, MVDTermView{
+			MVD:           newMVDView(t.MVD),
+			Loss:          newLossView(t.Loss),
+			CMI:           t.CMI,
+			LogOnePlusRho: t.LogOnePlus,
+		})
+	}
+	return v
+}
+
+// CandidateView is the serializable form of a discovered schema candidate:
+// the join tree plus its J-measure and measured loss.
+type CandidateView struct {
+	Schema string     `json:"schema"`
+	Bags   [][]string `json:"bags"`
+	Edges  [][2]int   `json:"edges"`
+	J      float64    `json:"j_nats"`
+	Loss   LossView   `json:"loss"`
+}
+
+// candidateView converts a discovery.Candidate together with its measured
+// loss (the same pairing the discover CLI reports).
+func candidateView(c discovery.Candidate, loss core.Loss) CandidateView {
+	return CandidateView{
+		Schema: c.Schema().String(),
+		Bags:   c.Tree.Bags,
+		Edges:  c.Tree.Edges,
+		J:      c.J,
+		Loss:   newLossView(loss),
+	}
+}
+
+// MVDCandidateView is the serializable form of a mined approximate MVD.
+type MVDCandidateView struct {
+	X      []string   `json:"x"`
+	Groups [][]string `json:"groups"`
+	J      float64    `json:"j_nats"`
+	Rho    float64    `json:"rho"`
+}
+
+// DiscoverView is the result of a discovery request: the Chow-Liu tree, the
+// best coarsened candidate at the target, and the mined approximate MVDs.
+type DiscoverView struct {
+	Dataset      string             `json:"dataset"`
+	Rows         int                `json:"rows"`
+	Target       float64            `json:"target"`
+	MaxSep       int                `json:"max_sep"`
+	ChowLiu      CandidateView      `json:"chow_liu"`
+	Best         CandidateView      `json:"best"`
+	Contractions int                `json:"contractions"`
+	MVDs         []MVDCandidateView `json:"mvds"`
+}
+
+// EntropyView is the result of an entropy/MI/CMI query.
+type EntropyView struct {
+	Dataset string   `json:"dataset"`
+	Kind    string   `json:"kind"` // "entropy", "conditional_entropy", "mi", "cmi"
+	Attrs   []string `json:"attrs,omitempty"`
+	A       []string `json:"a,omitempty"`
+	B       []string `json:"b,omitempty"`
+	Given   []string `json:"given,omitempty"`
+	Nats    float64  `json:"nats"`
+	Bits    float64  `json:"bits"`
+}
