@@ -9,6 +9,14 @@
 // Usage:
 //
 //	ajdlossd [-addr :8347] [-cache 256] [-load name=path.csv ...]
+//	         [-watch name=path.csv ...] [-watch-interval 2s]
+//
+// -watch loads a dataset like -load and then tails the file by byte offset:
+// complete new lines are appended to the live dataset (a partially flushed
+// line waits for its newline). Appends are idempotent (existing rows are
+// skipped), so a producer can keep appending lines to the CSV and the
+// daemon streams them in without a restart or an engine rebuild — each
+// absorbed batch bumps the dataset's generation, visible in every response.
 //
 // Endpoints (see internal/service.NewHandler):
 //
@@ -16,6 +24,7 @@
 //	GET    /stats
 //	GET    /datasets
 //	POST   /datasets?name=X[&noheader=1]      (CSV request body)
+//	POST   /datasets/{name}/append[?header=1] (CSV or JSON rows body)
 //	DELETE /datasets/{name}
 //	GET    /analyze?dataset=X&schema=A,B|B,C
 //	GET    /discover?dataset=X[&target=0.01][&maxsep=1]
@@ -26,7 +35,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +47,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -68,29 +80,72 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	addr := fs.String("addr", ":8347", "listen address")
 	cacheSize := fs.Int("cache", 256, "result cache capacity (entries; 0 disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-	var loads preloadFlag
+	var loads, watches preloadFlag
 	fs.Var(&loads, "load", "preload dataset as name=path.csv (repeatable)")
+	fs.Var(&watches, "watch", "like -load, then poll the file and stream new rows in (repeatable)")
+	watchEvery := fs.Duration("watch-interval", 2*time.Second, "poll interval for -watch files")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if len(watches) > 0 && *watchEvery <= 0 {
+		return fmt.Errorf("-watch-interval must be positive, got %v", *watchEvery)
+	}
 
 	svc := service.New(*cacheSize)
-	for _, spec := range loads {
+	load := func(flagName, spec string) (name, path string, err error) {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
-			return fmt.Errorf("bad -load %q, want name=path.csv", spec)
+			return "", "", fmt.Errorf("bad %s %q, want name=path.csv", flagName, spec)
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			return err
+			return "", "", err
 		}
 		d, err := svc.Registry().Register(name, f, true)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("loading %s: %w", path, err)
+			return "", "", fmt.Errorf("loading %s: %w", path, err)
 		}
 		fmt.Fprintf(stderr, "loaded dataset %q: %d rows over %s\n",
 			name, d.Rel.N(), strings.Join(d.Rel.Attrs(), ","))
+		return name, path, nil
+	}
+	for _, spec := range loads {
+		if _, _, err := load("-load", spec); err != nil {
+			return err
+		}
+	}
+	// Watch goroutines exit on context cancellation; cancel before waiting so
+	// an early return (listener failure) cannot hang behind a watcher that is
+	// still ticking.
+	watchCtx, stopWatches := context.WithCancel(ctx)
+	var watchWG sync.WaitGroup
+	defer func() {
+		stopWatches()
+		watchWG.Wait()
+	}()
+	for _, spec := range watches {
+		// Snapshot the size *before* the load: everything up to here is
+		// ingested by Register, so the tail starts at this offset — rows a
+		// producer appends between the Stat and the load are re-read once
+		// and deduped (appends are idempotent). Without the snapshot the
+		// first tick would re-read and re-encode the entire file under the
+		// dataset write lock just to add zero rows.
+		var start int64
+		if _, p, ok := strings.Cut(spec, "="); ok {
+			if fi, err := os.Stat(p); err == nil {
+				start = fi.Size()
+			}
+		}
+		name, path, err := load("-watch", spec)
+		if err != nil {
+			return err
+		}
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			watchLoop(watchCtx, svc, name, path, start, *watchEvery, stderr)
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -121,4 +176,162 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		return err
 	}
 	return nil
+}
+
+// watchLoop tails path from the given starting offset and streams new rows
+// of the CSV file into the live dataset. It tracks the byte offset of
+// ingested complete lines and reads only the tail, cut at the last newline —
+// so each batch costs O(new bytes), not O(file), and a torn (partially
+// flushed) final line is never parsed: even when a truncated record happens
+// to have the right arity it stays on disk until its newline arrives. If the
+// file shrinks, or the byte before the tail is no longer a newline (a
+// mid-line start snapshot, or an atomic replacement by equal-or-larger
+// content — best-effort: a replacement that coincidentally keeps a newline
+// there goes unnoticed until the next size change), ingestion restarts from
+// the top; appends are idempotent, so re-reads only cost duplicate
+// detection.
+//
+// A chunk that fails to parse is retried for a few ticks (a quoted field
+// containing a newline can make the cut point land mid-record, which heals
+// once the rest of the record is flushed) and then skipped: a permanently
+// malformed line must not wedge the watcher forever while valid rows pile up
+// behind it.
+func watchLoop(ctx context.Context, svc *service.Service, name, path string, offset int64, every time.Duration, stderr io.Writer) {
+	// parse retries remaining for the chunk at the current offset before it
+	// is skipped as permanently malformed.
+	const parseRetries = 3
+	retries := parseRetries
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "watch %q: %v\n", path, err)
+			continue
+		}
+		if fi.Size() < offset {
+			fmt.Fprintf(stderr, "watch %q: file shrank, re-reading from the top\n", path)
+			offset = 0
+		}
+		if fi.Size() == offset {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "watch %q: %v\n", path, err)
+			continue
+		}
+		// Sentinel: the byte just before the tail must still be a newline.
+		// It is not one when the start snapshot landed mid-line (producer
+		// was writing during startup) or when the file was atomically
+		// replaced by equal-or-larger content — tailing from a stale offset
+		// would then ingest partial-line fragments as phantom rows. Reset
+		// and re-read from the top instead; appends are idempotent, so the
+		// re-read only costs duplicate detection.
+		if offset > 0 {
+			var nl [1]byte
+			if _, err := f.ReadAt(nl[:], offset-1); err != nil || nl[0] != '\n' {
+				fmt.Fprintf(stderr, "watch %q: content changed under the tail, re-reading from the top\n", path)
+				offset = 0
+			}
+		}
+		buf := make([]byte, fi.Size()-offset)
+		_, err = f.ReadAt(buf, offset)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "watch %q: %v\n", path, err)
+			continue
+		}
+		cut := bytes.LastIndexByte(buf, '\n')
+		if cut < 0 {
+			continue // no complete line yet
+		}
+		buf = buf[:cut+1]
+		// Parse up to the first malformed record: the clean prefix is
+		// ingested immediately (valid rows must not be hostage to a bad
+		// line behind them), and only then is the failure handled.
+		records, consumed, parseErr := parseCSVPrefix(buf)
+		if len(records) > 0 {
+			// Drop ragged rows rather than letting one of them fail the
+			// whole batch (Dataset.Append is all-or-nothing). The schema is
+			// immutable after registration, so reading the arity needs no
+			// lock.
+			if d, ok := svc.Registry().Get(name); ok {
+				arity := len(d.Rel.Attrs())
+				kept := records[:0]
+				for _, rec := range records {
+					if len(rec) == arity {
+						kept = append(kept, rec)
+					}
+				}
+				if dropped := len(records) - len(kept); dropped > 0 {
+					fmt.Fprintf(stderr, "watch %q: dropped %d rows with the wrong field count\n", path, dropped)
+				}
+				records = kept
+			}
+			// The chunk at offset 0 starts with the header row; later tails
+			// are bare data lines.
+			v, err := svc.Append(name, records, offset == 0)
+			if err != nil {
+				// Deterministic for these bytes (header mismatch, bad
+				// encoding): skip the consumed prefix so the watcher is
+				// never wedged.
+				fmt.Fprintf(stderr, "watch %q: skipping %d bytes (rows lost): %v\n", path, consumed, err)
+				offset += consumed
+				retries = parseRetries
+				continue
+			}
+			if v.Appended > 0 {
+				fmt.Fprintf(stderr, "watch %q: appended %d rows to %q (now %d rows, generation %d)\n",
+					path, v.Appended, name, v.Rows, v.Generation)
+			}
+		}
+		if consumed > 0 {
+			offset += consumed
+			retries = parseRetries // progress: the next bad line gets a fresh budget
+		}
+		if parseErr == nil {
+			continue
+		}
+		// The record now at offset is unparseable as flushed so far: maybe
+		// torn (a quoted field spanning the cut heals once the rest is
+		// written), maybe truly bad. Retry a few ticks, then skip one
+		// physical line, so one malformed line cannot wedge the watcher
+		// forever while valid rows pile up behind it.
+		if retries--; retries > 0 {
+			fmt.Fprintf(stderr, "watch %q: %v (will retry)\n", path, parseErr)
+			continue
+		}
+		skip := int64(bytes.IndexByte(buf[consumed:], '\n') + 1)
+		fmt.Fprintf(stderr, "watch %q: skipping %d unparseable bytes (a row lost): %v\n", path, skip, parseErr)
+		offset += skip
+		retries = parseRetries
+	}
+}
+
+// parseCSVPrefix reads CSV records from buf until the first parse error,
+// returning the clean-prefix records, the byte count they consumed, and the
+// error (nil when the whole buffer parsed; then the count covers trailing
+// blank lines too). Records may be ragged — the caller filters by arity.
+func parseCSVPrefix(buf []byte) ([][]string, int64, error) {
+	cr := csv.NewReader(bytes.NewReader(buf))
+	cr.FieldsPerRecord = -1
+	var records [][]string
+	var consumed int64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return records, int64(len(buf)), nil
+		}
+		if err != nil {
+			return records, consumed, err
+		}
+		records = append(records, rec)
+		consumed = cr.InputOffset()
+	}
 }

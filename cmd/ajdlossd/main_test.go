@@ -33,13 +33,23 @@ func startDaemon(t *testing.T, extraArgs ...string) (string, func() error) {
 	if err := os.WriteFile(csv, []byte(rows.String()), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	args := append([]string{"-addr", "127.0.0.1:0", "-load", "block=" + csv}, extraArgs...)
+	return bootDaemon(t, args)
+}
+
+// bootDaemon runs the daemon with the given args until it is ready and
+// returns its base URL plus a shutdown function asserting a graceful exit.
+func bootDaemon(t *testing.T, args []string) (string, func() error) {
+	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	addrc := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
-	args := append([]string{"-addr", "127.0.0.1:0", "-load", "block=" + csv}, extraArgs...)
 	go func() {
 		errc <- run(ctx, args, io.Discard, io.Discard, func(a net.Addr) { addrc <- a })
 	}()
+	// Generous bounds: under -race with several packages' tests running in
+	// parallel, a loaded machine can stretch daemon boot well past a few
+	// seconds — a genuine hang is forever, so the slack costs nothing.
 	select {
 	case addr := <-addrc:
 		return "http://" + addr.String(), func() error {
@@ -47,13 +57,13 @@ func startDaemon(t *testing.T, extraArgs ...string) (string, func() error) {
 			select {
 			case err := <-errc:
 				return err
-			case <-time.After(5 * time.Second):
+			case <-time.After(30 * time.Second):
 				return fmt.Errorf("daemon did not shut down")
 			}
 		}
 	case err := <-errc:
 		t.Fatalf("daemon exited before ready: %v", err)
-	case <-time.After(5 * time.Second):
+	case <-time.After(30 * time.Second):
 		t.Fatal("daemon never became ready")
 	}
 	panic("unreachable")
@@ -134,6 +144,201 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDaemonWatch: a -watch dataset streams rows appended to its CSV file
+// into the live daemon — the row count and generation advance without a
+// restart, and analysis responses echo the new generation.
+func TestDaemonWatch(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "w.csv")
+	if err := os.WriteFile(csvPath, []byte("A,B\n1,1\n2,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, shutdown := bootDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-watch", "w=" + csvPath, "-watch-interval", "25ms"})
+
+	datasets := getJSON(t, base+"/datasets")["datasets"].([]any)
+	info := datasets[0].(map[string]any)
+	if info["name"] != "w" || info["rows"] != float64(2) || info["generation"] != float64(1) {
+		t.Fatalf("initial watch load: %v", info)
+	}
+
+	// The producer appends lines to the file — including a torn final line
+	// ("5," has the right field count for a truncated "5,5\n" but no
+	// newline yet). The daemon must absorb the complete lines and leave the
+	// torn one on disk.
+	f, err := os.OpenFile(csvPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("3,3\n4,4\n5,"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		info := getJSON(t, base+"/datasets")["datasets"].([]any)[0].(map[string]any)
+		if info["rows"] == float64(4) && info["generation"] == float64(2) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watched rows never appeared: %v", info)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Completing the torn line makes exactly the row "5,5" appear — if the
+	// watcher had parsed the fragment early, a bogus row would inflate the
+	// count past 5.
+	f, err = os.OpenFile(csvPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("5\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for {
+		info := getJSON(t, base+"/datasets")["datasets"].([]any)[0].(map[string]any)
+		if info["rows"] == float64(5) && info["generation"] == float64(3) {
+			break
+		}
+		if info["rows"].(float64) > 5 {
+			t.Fatalf("torn line ingested: %v", info)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("completed torn line never appeared: %v", info)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// A permanently malformed line (ragged, then an unparseable bare quote)
+	// must not wedge the watcher: bad rows are dropped or skipped, and rows
+	// appended after them still stream in.
+	f, err = os.OpenFile(csvPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("ragged\n6,6\n"); err != nil { // ragged + good, same chunk
+		t.Fatal(err)
+	}
+	f.Close()
+	waitRows := func(want float64) {
+		t.Helper()
+		for {
+			info := getJSON(t, base+"/datasets")["datasets"].([]any)[0].(map[string]any)
+			if info["rows"] == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("rows never reached %v: %v", want, info)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	waitRows(6) // "6,6" landed, "ragged" dropped
+	f, err = os.OpenFile(csvPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("a\"b,7\n"); err != nil { // unparseable chunk
+		t.Fatal(err)
+	}
+	f.Close()
+	// The watcher retries an unparseable chunk a few ticks (it could be a
+	// torn quoted field) before skipping it; leave room for that.
+	time.Sleep(time.Second)
+	f, err = os.OpenFile(csvPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("8,8\n"); err != nil { // must still stream in
+		t.Fatal(err)
+	}
+	f.Close()
+	waitRows(7)
+	ent := getJSON(t, base+"/entropy?dataset=w&attrs=A")
+	if ent["generation"] != float64(5) || ent["rows"] != float64(7) {
+		t.Fatalf("entropy after watch append: %v", ent)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+// TestDaemonWatchReplace: atomically replacing the watched file with
+// different, larger content must not be tailed from the stale offset (which
+// would ingest mid-row fragments as phantom rows); the watcher detects the
+// broken newline sentinel and re-reads from the top.
+func TestDaemonWatchReplace(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "w.csv")
+	if err := os.WriteFile(csvPath, []byte("A,B\n1,1\n2,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, shutdown := bootDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-watch", "w=" + csvPath, "-watch-interval", "25ms"})
+
+	// Replace with larger content that does NOT have a newline at the old
+	// offset boundary; rows are a superset plus fresh ones.
+	next := filepath.Join(dir, "next.csv")
+	if err := os.WriteFile(next, []byte("A,B\n10,10\n20,20\n30,30\n40,40\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(next, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		info := getJSON(t, base+"/datasets")["datasets"].([]any)[0].(map[string]any)
+		// Old rows stay (appends are add-only); all four new rows must land
+		// exactly once: 2 + 4 = 6.
+		if info["rows"] == float64(6) {
+			break
+		}
+		if info["rows"].(float64) > 6 {
+			t.Fatalf("phantom rows ingested after replacement: %v", info)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replacement content never ingested: %v", info)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+// TestDaemonWatchListenFailure: with -watch active, a listener that cannot
+// bind must surface the error immediately — run() must not hang behind the
+// still-ticking watch goroutine.
+func TestDaemonWatchListenFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	csvPath := filepath.Join(t.TempDir(), "w.csv")
+	if err := os.WriteFile(csvPath, []byte("A,B\n1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(context.Background(),
+			[]string{"-addr", ln.Addr().String(), "-watch", "w=" + csvPath},
+			io.Discard, io.Discard, nil)
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("bind conflict not reported")
+		}
+	// A real hang is forever; the generous bound just keeps slow loaded
+	// machines from flaking the distinction.
+	case <-time.After(30 * time.Second):
+		t.Fatal("run() hung behind the watch goroutine on listener failure")
+	}
+}
+
 func TestDaemonBadFlags(t *testing.T) {
 	ctx := context.Background()
 	var stderr strings.Builder
@@ -145,6 +350,12 @@ func TestDaemonBadFlags(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-load", "nopath"}, io.Discard, io.Discard, nil); err == nil {
 		t.Fatal("bad -load accepted")
+	}
+	// A non-positive poll interval would panic time.NewTicker in the watch
+	// goroutine; it must be rejected at startup instead.
+	if err := run(ctx, []string{"-watch", "w=x.csv", "-watch-interval", "0s"}, io.Discard, io.Discard, nil); err == nil ||
+		!strings.Contains(err.Error(), "watch-interval") {
+		t.Fatalf("non-positive -watch-interval accepted: %v", err)
 	}
 	if err := run(ctx, []string{"-load", "x=/does/not/exist.csv"}, io.Discard, io.Discard, nil); err == nil {
 		t.Fatal("missing preload file accepted")

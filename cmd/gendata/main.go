@@ -10,6 +10,14 @@
 //	gendata -kind diagonal -n 100
 //	gendata -kind blockmvd -classes 4 -block 6 -noise 16
 //
+// With -append the header row is suppressed, producing a batch in the shape
+// the analysis daemon's streaming endpoint ingests — generate a base with
+// one seed and follow-up batches with different seeds:
+//
+//	gendata -kind random -n 1000 -seed 1 > base.csv
+//	gendata -kind random -n 50 -seed 2 -append | curl --data-binary @- \
+//	    http://localhost:8347/datasets/r/append
+//
 // All generators are deterministic for a fixed -seed.
 package main
 
@@ -45,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	classes := fs.Int("classes", 4, "number of C classes (blockmvd)")
 	block := fs.Int("block", 6, "block size per class (blockmvd)")
 	seed := fs.Uint64("seed", 1, "PRNG seed")
+	appendMode := fs.Bool("append", false, "emit rows without a header (streaming append batch)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *appendMode {
+		return relation.WriteCSVRows(stdout, r, nil)
 	}
 	return relation.WriteCSV(stdout, r, nil)
 }

@@ -44,6 +44,25 @@ func TestRunPlanted(t *testing.T) {
 	}
 }
 
+// TestRunAppendMode: -append suppresses the header so the output can be
+// POSTed straight to the daemon's append endpoint.
+func TestRunAppendMode(t *testing.T) {
+	var full, batch strings.Builder
+	if err := run([]string{"-kind", "random", "-attrs", "3", "-n", "8", "-seed", "3"}, &full, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "random", "-attrs", "3", "-n", "8", "-seed", "3", "-append"}, &batch, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(full.String(), "\n", 2)[0]
+	if strings.Contains(batch.String(), header) {
+		t.Fatalf("-append output still has header %q:\n%s", header, batch.String())
+	}
+	if full.String() != header+"\n"+batch.String() {
+		t.Fatalf("-append rows differ from headered rows:\n%s\nvs\n%s", full.String(), batch.String())
+	}
+}
+
 func TestRunUnknownKind(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-kind", "nope"}, &out, io.Discard); err == nil {

@@ -149,6 +149,16 @@ func ReadCSV(r io.Reader, header bool) (*Relation, *Encoder, error) {
 	return rel, enc, nil
 }
 
+// ReadCSVRows reads a headerless CSV stream of data records, as accepted by
+// the streaming append path. Records may be ragged here — arity is validated
+// by the caller against the target schema, so the error can say which row of
+// the batch is bad.
+func ReadCSVRows(r io.Reader) ([][]string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	return cr.ReadAll()
+}
+
 // WriteCSV writes the relation as CSV with a header row. If enc is non-nil
 // values are decoded through it; otherwise raw integers are written.
 func WriteCSV(w io.Writer, r *Relation, enc *Encoder) error {
@@ -156,6 +166,16 @@ func WriteCSV(w io.Writer, r *Relation, enc *Encoder) error {
 	if err := cw.Write(r.Attrs()); err != nil {
 		return err
 	}
+	return writeCSVRows(cw, r, enc)
+}
+
+// WriteCSVRows writes the relation's rows as CSV with no header row — the
+// shape the streaming append endpoint ingests (gendata -append emits it).
+func WriteCSVRows(w io.Writer, r *Relation, enc *Encoder) error {
+	return writeCSVRows(csv.NewWriter(w), r, enc)
+}
+
+func writeCSVRows(cw *csv.Writer, r *Relation, enc *Encoder) error {
 	for _, t := range r.SortedRows() {
 		var rec []string
 		if enc != nil {

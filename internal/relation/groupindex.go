@@ -27,7 +27,9 @@ import (
 // tuples in group g. len(Counts) is the number of distinct projected rows.
 //
 // Groupings returned by the engine are shared, memoized values: callers must
-// not modify them.
+// not modify them, and they are *live views* — a later Append on the source
+// extends IDs and Counts of previously returned Groupings in place. Callers
+// that need a frozen snapshot across mutations must copy.
 type Grouping struct {
 	IDs    []int32
 	Counts []int
@@ -36,11 +38,24 @@ type Grouping struct {
 // Groups returns the number of distinct groups.
 func (g *Grouping) Groups() int { return len(g.Counts) }
 
+// memoEntry is one memoized grouping together with what incremental append
+// maintenance needs: the sorted column set it projects onto (to order
+// extensions parents-first) and the probe map refine built, keyed by
+// (parent group id, column value), so a new row either lands in an existing
+// group by one map lookup or opens a fresh one.
+type memoEntry struct {
+	g    *Grouping
+	cols []int
+	next map[uint64]int32 // nil for the empty column set
+}
+
 // groupEngine holds the columnar mirror of a relation or multiset together
-// with the memoized groupings and entropies. It is safe for concurrent use:
-// the cache is mutex-guarded, refinement runs outside the lock (duplicated
-// work on a race is benign — results are identical), and the column data is
-// immutable once built.
+// with the memoized groupings and entropies. It is safe for concurrent
+// readers: the cache is mutex-guarded, refinement runs outside the lock
+// (duplicated work on a race is benign — results are identical), and the
+// column data is immutable between mutations. appendRows (batched append)
+// must not run concurrently with readers; callers synchronize (the analysis
+// service holds a per-dataset write lock across appends).
 type groupEngine struct {
 	cols    [][]Value // cols[c][row]: columnar copy of the stored rows
 	weights []int64   // per-row multiplicity; nil means all 1
@@ -48,7 +63,7 @@ type groupEngine struct {
 	total   int       // Σ weights (== n when weights is nil)
 
 	mu      sync.Mutex
-	cache   map[string]*Grouping
+	cache   map[string]*memoEntry
 	entropy map[string]float64
 }
 
@@ -67,7 +82,7 @@ func newGroupEngine(arity int, rows []Tuple, weights []int64, total int) *groupE
 		weights: weights,
 		n:       len(rows),
 		total:   total,
-		cache:   make(map[string]*Grouping),
+		cache:   make(map[string]*memoEntry),
 		entropy: make(map[string]float64),
 	}
 }
@@ -83,25 +98,26 @@ func colsKey(cols []int) string {
 func (e *groupEngine) grouping(cols []int) *Grouping {
 	key := colsKey(cols)
 	e.mu.Lock()
-	g, ok := e.cache[key]
+	ent, ok := e.cache[key]
 	e.mu.Unlock()
 	if ok {
-		return g
+		return ent.g
 	}
 	if len(cols) == 0 {
-		g = e.trivialGrouping()
+		ent = &memoEntry{g: e.trivialGrouping()}
 	} else {
 		parent := e.grouping(cols[:len(cols)-1])
-		g = e.refine(parent, cols[len(cols)-1])
+		g, next := e.refine(parent, cols[len(cols)-1])
+		ent = &memoEntry{g: g, cols: append([]int(nil), cols...), next: next}
 	}
 	e.mu.Lock()
 	if cached, ok := e.cache[key]; ok {
-		g = cached // another goroutine won the race; keep its value
+		ent = cached // another goroutine won the race; keep its value
 	} else {
-		e.cache[key] = g
+		e.cache[key] = ent
 	}
 	e.mu.Unlock()
-	return g
+	return ent.g
 }
 
 // trivialGrouping is the grouping on the empty attribute set: every row in
@@ -116,8 +132,11 @@ func (e *groupEngine) trivialGrouping() *Grouping {
 
 // refine splits every group of parent by the values of column col. New group
 // ids are assigned in first-occurrence row order, which makes the result —
-// and everything derived from it — deterministic.
-func (e *groupEngine) refine(parent *Grouping, col int) *Grouping {
+// and everything derived from it — deterministic. The probe map is returned
+// alongside the grouping so appendRows can extend it in place: incremental
+// and from-scratch construction assign identical ids because both scan rows
+// in the same stored order.
+func (e *groupEngine) refine(parent *Grouping, col int) (*Grouping, map[uint64]int32) {
 	column := e.cols[col]
 	ids := make([]int32, e.n)
 	// Key combines (parent group id, column value) into one uint64; both are
@@ -149,7 +168,73 @@ func (e *groupEngine) refine(parent *Grouping, col int) *Grouping {
 			counts[id] += int(e.weights[i])
 		}
 	}
-	return &Grouping{IDs: ids, Counts: counts}
+	return &Grouping{IDs: ids, Counts: counts}, next
+}
+
+// appendRows extends the engine with a batch of freshly inserted rows:
+// columns grow, every memoized grouping is extended in place (new rows probe
+// the retained refine maps, so the cost is O(batch × cached sets), never
+// O(n)), and the entropy memo is invalidated wholesale — every entropy
+// changes when the total does, and the next query recomputes in O(groups)
+// from the already-extended grouping instead of re-refining columns.
+//
+// Memoized groupings are extended parents-first (shorter column sets first):
+// a child's new ids are derived from its parent's, and grouping() guarantees
+// every prefix of a cached set is cached too.
+//
+// appendRows must not run concurrently with readers; it only supports
+// unweighted engines (relations — multisets mutate multiplicities of
+// existing rows, which invalidates rather than extends).
+func (e *groupEngine) appendRows(rows []Tuple) {
+	if len(rows) == 0 {
+		return
+	}
+	if e.weights != nil {
+		panic("relation: appendRows on a weighted engine")
+	}
+	for c := range e.cols {
+		col := e.cols[c]
+		for _, t := range rows {
+			col = append(col, t[c])
+		}
+		e.cols[c] = col
+	}
+	oldN := e.n
+	e.n += len(rows)
+	e.total += len(rows)
+
+	entries := make([]*memoEntry, 0, len(e.cache))
+	for _, ent := range e.cache {
+		entries = append(entries, ent)
+	}
+	sort.Slice(entries, func(i, j int) bool { return len(entries[i].cols) < len(entries[j].cols) })
+	for _, ent := range entries {
+		g := ent.g
+		if len(ent.cols) == 0 {
+			for range rows {
+				g.IDs = append(g.IDs, 0)
+			}
+			if len(g.Counts) == 0 {
+				g.Counts = []int{0}
+			}
+			g.Counts[0] = e.total
+			continue
+		}
+		parent := e.cache[colsKey(ent.cols[:len(ent.cols)-1])].g
+		column := e.cols[ent.cols[len(ent.cols)-1]]
+		for i := oldN; i < e.n; i++ {
+			k := uint64(uint32(parent.IDs[i]))<<32 | uint64(uint32(column[i]))
+			id, ok := ent.next[k]
+			if !ok {
+				id = int32(len(g.Counts))
+				ent.next[k] = id
+				g.Counts = append(g.Counts, 0)
+			}
+			g.IDs = append(g.IDs, id)
+			g.Counts[id]++
+		}
+	}
+	e.entropy = make(map[string]float64)
 }
 
 // groupEntropy returns the entropy (nats) of the distribution assigning

@@ -34,8 +34,10 @@ type Relation struct {
 	index map[string]int // row key -> index in rows
 
 	// eng is the lazily built columnar group-count engine (groupindex.go).
-	// Reads are safe from multiple goroutines; mutation (Insert) is not and
-	// invalidates the engine.
+	// Reads are safe from multiple goroutines; mutation is not: Insert
+	// invalidates the engine, Append extends it incrementally. Callers that
+	// mix mutation with concurrent reads must synchronize externally (the
+	// analysis service holds a per-dataset RW lock).
 	engMu sync.Mutex
 	eng   *groupEngine
 }
@@ -132,6 +134,46 @@ func (r *Relation) Insert(t Tuple) bool {
 	r.rows = append(r.rows, cp)
 	r.eng = nil // invalidate the columnar engine
 	return true
+}
+
+// Append inserts a batch of tuples (copied), skipping duplicates against the
+// existing rows and within the batch, and reports how many were newly added.
+// Unlike Insert, Append maintains the columnar group engine *incrementally*:
+// memoized groupings absorb the new rows by probing the retained refinement
+// maps (O(batch × memoized sets)) instead of being discarded and rebuilt
+// (O(n × queried sets)), which is what makes streaming ingestion over a warm
+// engine cheap. Incremental maintenance assigns exactly the group ids a
+// from-scratch rebuild over the concatenated rows would.
+//
+// A tuple of the wrong arity fails the whole batch with an error before any
+// mutation (no partial append), so the streaming service path never panics.
+// Append must not run concurrently with readers or other mutations, and
+// Grouping/GroupCounts values obtained earlier are live views that reflect
+// the appended rows afterwards (copy them for a frozen snapshot).
+func (r *Relation) Append(rows []Tuple) (int, error) {
+	for _, t := range rows {
+		if len(t) != len(r.attrs) {
+			return 0, fmt.Errorf("relation: tuple arity %d != schema arity %d", len(t), len(r.attrs))
+		}
+	}
+	var fresh []Tuple
+	for _, t := range rows {
+		k := rowKey(t)
+		if _, ok := r.index[k]; ok {
+			continue
+		}
+		cp := make(Tuple, len(t))
+		copy(cp, t)
+		r.index[k] = len(r.rows)
+		r.rows = append(r.rows, cp)
+		fresh = append(fresh, cp)
+	}
+	r.engMu.Lock()
+	if r.eng != nil {
+		r.eng.appendRows(fresh)
+	}
+	r.engMu.Unlock()
+	return len(fresh), nil
 }
 
 // Contains reports whether tuple t is in the relation.

@@ -1,12 +1,16 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+
+	"ajdloss/internal/relation"
 )
 
 // maxUploadBytes caps a POST /datasets body. 512 MiB of CSV is far beyond
@@ -19,15 +23,18 @@ const maxUploadBytes = 512 << 20
 //	GET    /stats                        request counters
 //	GET    /datasets                     list registered datasets
 //	POST   /datasets?name=X[&noheader=1] register the CSV request body
+//	POST   /datasets/{name}/append[?header=1]  append rows (CSV body, or JSON
+//	                                     rows with Content-Type: application/json)
 //	DELETE /datasets/{name}              deregister a dataset
 //	GET    /analyze?dataset=X&schema=A,B|B,C   ('|' or %3B between bags)
 //	GET    /discover?dataset=X[&target=0.01][&maxsep=1]
 //	GET    /entropy?dataset=X&attrs=A,B[&given=C]
 //	GET    /entropy?dataset=X&a=A&b=B[&given=C]
 //
-// Every response is JSON. Errors come back as {"error": "..."} with 400
-// (bad request/ingestion), 404 (unknown dataset or route), or 409
-// (duplicate dataset name).
+// Every response is JSON, and every analysis response echoes the dataset
+// generation it was computed against (appends bump the generation). Errors
+// come back as {"error": "..."} with 400 (bad request/ingestion), 404
+// (unknown dataset or route), or 409 (duplicate dataset name).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -58,6 +65,49 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusCreated, d.Info())
+	})
+	mux.HandleFunc("POST /datasets/{name}/append", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		header, err := queryBool(r.URL.Query().Get("header"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: reading append body: %w", err))
+			return
+		}
+		// JSON is detected by Content-Type or — when no CSV type was claimed
+		// — by shape: a body whose first non-space byte is '[' or '{' is
+		// almost certainly a JSON batch sent without the header, and parsing
+		// it as CSV would silently append mangled rows like "[[1" when the
+		// field count happens to match the schema. An explicit csv/text
+		// Content-Type suppresses the sniff for data whose first cell really
+		// does start with a bracket.
+		ct := r.Header.Get("Content-Type")
+		isJSON := strings.Contains(ct, "json")
+		if !isJSON && !strings.Contains(ct, "csv") && !strings.Contains(ct, "text/plain") {
+			if tr := bytes.TrimLeft(data, " \t\r\n"); len(tr) > 0 && (tr[0] == '[' || tr[0] == '{') {
+				isJSON = true
+			}
+		}
+		var records [][]string
+		if isJSON {
+			records, err = decodeJSONRows(data)
+		} else {
+			records, err = relation.ReadCSVRows(bytes.NewReader(data))
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: parsing append body: %w", err))
+			return
+		}
+		v, err := s.Append(name, records, header)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
 	})
 	mux.HandleFunc("DELETE /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
@@ -119,6 +169,69 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	}
 	return http.StatusBadRequest
+}
+
+// decodeJSONRows parses a JSON append body: either a bare array of rows or
+// {"rows": [...]}, where each row is an array of strings and/or numbers
+// (numbers keep their literal text, so 1 and 1.0 are distinct values exactly
+// as they would be in CSV).
+func decodeJSONRows(data []byte) ([][]string, error) {
+	var rows [][]any
+	if trimmed := bytes.TrimLeft(data, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '{' {
+		var wrapped struct {
+			Rows [][]any `json:"rows"`
+		}
+		if err := unmarshalNumbers(data, &wrapped); err != nil {
+			return nil, err
+		}
+		if wrapped.Rows == nil {
+			// A misspelled or missing key must not read as an empty batch —
+			// the client would see 200 {"appended":0} and believe it landed.
+			return nil, fmt.Errorf(`JSON object body must have a "rows" array`)
+		}
+		rows = wrapped.Rows
+	} else {
+		if err := unmarshalNumbers(data, &rows); err != nil {
+			return nil, err
+		}
+		if rows == nil {
+			// A literal null (an uninitialized client-side variable) must
+			// not read as an empty batch that "landed".
+			return nil, fmt.Errorf("JSON append body is null, want an array of rows")
+		}
+	}
+	out := make([][]string, len(rows))
+	for i, cells := range rows {
+		rec := make([]string, len(cells))
+		for j, c := range cells {
+			switch v := c.(type) {
+			case string:
+				rec[j] = v
+			case json.Number:
+				rec[j] = v.String()
+			default:
+				return nil, fmt.Errorf("row %d, field %d: want string or number, got %T", i+1, j+1, c)
+			}
+		}
+		out[i] = rec
+	}
+	return out, nil
+}
+
+// unmarshalNumbers is json.Unmarshal with UseNumber, so numeric cells keep
+// their literal text instead of round-tripping through float64. Trailing
+// content after the first JSON value is an error — a second concatenated
+// batch must not be silently dropped.
+func unmarshalNumbers(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
 }
 
 // queryBool parses a boolean query parameter; absent means false.

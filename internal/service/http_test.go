@@ -128,6 +128,100 @@ func TestHTTPErrors(t *testing.T) {
 	}
 }
 
+// TestHTTPAppend exercises the streaming append endpoint end-to-end: CSV
+// bodies, JSON bodies (bare array and {"rows": ...}, strings and numbers),
+// the header=1 form, and the error paths.
+func TestHTTPAppend(t *testing.T) {
+	srv := httpFixture(t)
+	if code, body := doReq(t, "POST", srv.URL+"/datasets?name=block", blockCSV(3, 2, 2)); code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+
+	// CSV body.
+	code, body := doReq(t, "POST", srv.URL+"/datasets/block/append", "50,60,7\n51,61,7\n")
+	if code != 200 || body["appended"] != float64(2) || body["rows"] != float64(14) || body["generation"] != float64(2) {
+		t.Fatalf("csv append: %d %v", code, body)
+	}
+
+	// JSON bodies: bare array with numbers, wrapped array with strings.
+	req, _ := http.NewRequest("POST", srv.URL+"/datasets/block/append", strings.NewReader(`[[52, 62, 7]]`))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || out["appended"] != float64(1) || out["generation"] != float64(3) {
+		t.Fatalf("json append: %d %v", resp.StatusCode, out)
+	}
+	req, _ = http.NewRequest("POST", srv.URL+"/datasets/block/append", strings.NewReader(`{"rows":[["53","63","7"]]}`))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || out["appended"] != float64(1) || out["generation"] != float64(4) {
+		t.Fatalf("wrapped json append: %d %v", resp.StatusCode, out)
+	}
+
+	// JSON shape is detected even without Content-Type: a body starting
+	// with '[' is never plausible CSV and must not be CSV-mangled into
+	// garbage rows like "[[55".
+	code, body = doReq(t, "POST", srv.URL+"/datasets/block/append", `[[55,65,7]]`)
+	if code != 200 || body["appended"] != float64(1) || body["generation"] != float64(5) {
+		t.Fatalf("sniffed json append: %d %v", code, body)
+	}
+
+	// header=1 with the schema's header row.
+	code, body = doReq(t, "POST", srv.URL+"/datasets/block/append?header=1", "A,B,C\n54,64,7\n")
+	if code != 200 || body["appended"] != float64(1) {
+		t.Fatalf("header append: %d %v", code, body)
+	}
+
+	// Dataset listing reflects the appended rows and the bumped generation.
+	code, body = doReq(t, "GET", srv.URL+"/datasets", "")
+	info := body["datasets"].([]any)[0].(map[string]any)
+	if code != 200 || info["rows"] != float64(18) || info["generation"] != float64(6) {
+		t.Fatalf("datasets after appends: %d %v", code, body)
+	}
+
+	// Error paths: unknown dataset (404), ragged row, bad header, bad JSON.
+	if code, _ := doReq(t, "POST", srv.URL+"/datasets/nope/append", "1,2,3\n"); code != http.StatusNotFound {
+		t.Fatalf("append to unknown dataset: %d", code)
+	}
+	if code, _ := doReq(t, "POST", srv.URL+"/datasets/block/append", "1,2\n"); code != http.StatusBadRequest {
+		t.Fatalf("ragged append: %d", code)
+	}
+	if code, _ := doReq(t, "POST", srv.URL+"/datasets/block/append?header=1", "A,B,X\n1,2,3\n"); code != http.StatusBadRequest {
+		t.Fatalf("bad header append: %d", code)
+	}
+	for name, body := range map[string]string{
+		"non-scalar cell":  `[[{"not":"scalar"}]]`,
+		"missing rows key": `{"data":[[1,2,3]]}`,  // must not read as an empty batch
+		"trailing data":    `[[1,2,3]] [[4,5,6]]`, // second batch must not be silently dropped
+		"null body":        `null`,                // must not read as an empty batch
+	} {
+		req, _ = http.NewRequest("POST", srv.URL+"/datasets/block/append", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
 // TestHTTPNoHeaderRegistration exercises the noheader query parameter: the
 // columns are named c1..ck.
 func TestHTTPNoHeaderRegistration(t *testing.T) {

@@ -21,8 +21,12 @@ var ErrAlreadyRegistered = errors.New("dataset already registered")
 // memoized partition and entropy) alive across requests, which is what turns
 // the engine's amortized speedup into cross-request serving capacity.
 //
-// A Dataset is immutable after registration; all its methods and the
-// underlying engine are safe for concurrent readers.
+// Datasets are mutable through Append only. Every append that adds rows
+// bumps the *generation* (registration is generation 1); reads run under
+// view, which holds the dataset read lock so a computation observes exactly
+// one generation, and every JSON view echoes the generation it was computed
+// against. The generation is part of every result-cache and singleflight
+// key, so answers from different generations can never be confused.
 type Dataset struct {
 	// ID is unique per registration (never reused), so cached results keyed
 	// by ID can never be served for a later dataset of the same name.
@@ -31,6 +35,12 @@ type Dataset struct {
 	Rel          *relation.Relation
 	Enc          *relation.Encoder
 	RegisteredAt time.Time
+
+	// mu guards Rel, Enc and gen: appends take the write lock, analysis
+	// computations the read lock (the engine itself is only safe for
+	// concurrent readers).
+	mu  sync.RWMutex
+	gen int64
 }
 
 // Info is the serializable summary of a registered dataset.
@@ -38,17 +48,85 @@ type Info struct {
 	Name         string   `json:"name"`
 	Rows         int      `json:"rows"`
 	Attrs        []string `json:"attrs"`
+	Generation   int64    `json:"generation"`
 	RegisteredAt string   `json:"registered_at"`
 }
 
 // Info returns the dataset's serializable summary.
 func (d *Dataset) Info() Info {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return Info{
 		Name:         d.Name,
 		Rows:         d.Rel.N(),
 		Attrs:        d.Rel.Attrs(),
+		Generation:   d.gen,
 		RegisteredAt: d.RegisteredAt.UTC().Format(time.RFC3339),
 	}
+}
+
+// Generation returns the dataset's current generation.
+func (d *Dataset) Generation() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.gen
+}
+
+// view runs fn while holding the dataset read lock and returns the
+// generation the computation observed — appends cannot interleave, so a
+// result and the generation stamped on it always agree.
+func (d *Dataset) view(fn func() error) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.gen, fn()
+}
+
+// Append dictionary-encodes a batch of string records and appends them to
+// the relation, extending the columnar engine's memoized groupings
+// incrementally (no rebuild). With header set, the first record must repeat
+// the dataset's schema exactly and is skipped. Duplicate rows are ignored;
+// the generation is bumped only when at least one row was added. The whole
+// batch is validated before any mutation, so a malformed record cannot leave
+// a half-applied append behind.
+func (d *Dataset) Append(records [][]string, header bool) (added, dups, rows int, gen int64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	attrs := d.Rel.Attrs()
+	if header {
+		if len(records) == 0 {
+			return 0, 0, d.Rel.N(), d.gen, fmt.Errorf("service: append body with header=1 has no header row")
+		}
+		if len(records[0]) != len(attrs) {
+			return 0, 0, d.Rel.N(), d.gen, fmt.Errorf("service: append header has %d fields, schema has %d", len(records[0]), len(attrs))
+		}
+		for i, a := range records[0] {
+			if a != attrs[i] {
+				return 0, 0, d.Rel.N(), d.gen, fmt.Errorf("service: append header %q does not match schema attribute %q", a, attrs[i])
+			}
+		}
+		records = records[1:]
+	}
+	for i, rec := range records {
+		if len(rec) != len(attrs) {
+			return 0, 0, d.Rel.N(), d.gen, fmt.Errorf("service: append row %d has %d fields, schema has %d", i+1, len(rec), len(attrs))
+		}
+	}
+	tuples := make([]relation.Tuple, len(records))
+	for i, rec := range records {
+		t, err := d.Enc.Encode(rec)
+		if err != nil {
+			return 0, 0, d.Rel.N(), d.gen, fmt.Errorf("service: encoding append row %d: %w", i+1, err)
+		}
+		tuples[i] = t
+	}
+	added, err = d.Rel.Append(tuples)
+	if err != nil {
+		return 0, 0, d.Rel.N(), d.gen, err
+	}
+	if added > 0 {
+		d.gen++
+	}
+	return added, len(tuples) - added, d.Rel.N(), d.gen, nil
 }
 
 // Registry holds named datasets for the analysis service. CSV ingestion
@@ -107,6 +185,7 @@ func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, er
 		Rel:          rel,
 		Enc:          enc,
 		RegisteredAt: time.Now(),
+		gen:          1,
 	}
 	g.byName[name] = d
 	return d, nil

@@ -25,7 +25,8 @@ type Stats struct {
 	CacheHits int64 `json:"cache_hits"` // answered from the LRU cache
 	Coalesced int64 `json:"coalesced"`  // joined an identical in-flight computation
 	Computed  int64 `json:"computed"`   // actually executed
-	Errors    int64 `json:"errors"`     // requests that returned an error
+	Errors    int64 `json:"errors"`     // requests (including appends) that returned an error
+	Appends   int64 `json:"appends"`    // streaming append batches received (accepted or not)
 }
 
 // Service is the concurrent analysis engine behind cmd/ajdlossd: a dataset
@@ -42,6 +43,7 @@ type Service struct {
 	coalesced atomic.Int64
 	computed  atomic.Int64
 	errors    atomic.Int64
+	appends   atomic.Int64
 }
 
 // New returns a service with the given result-cache capacity (entries, not
@@ -70,20 +72,37 @@ func (s *Service) Stats() Stats {
 		Coalesced: s.coalesced.Load(),
 		Computed:  s.computed.Load(),
 		Errors:    s.errors.Load(),
+		Appends:   s.appends.Load(),
 	}
 }
 
 func datasetPrefix(id int64) string { return "d" + strconv.FormatInt(id, 10) + "|" }
 
+// requestKey is the per-request key prefix: dataset identity plus a
+// *generation*. Before PR 3 keys assumed immutable datasets; with streaming
+// appends the generation segment is what guarantees a cached pre-append
+// result can never answer a post-append request (and vice versa) — the LRU
+// and singleflight maps key the generation explicitly instead of trusting
+// time-of-check registry state.
+func requestKey(d *Dataset, gen int64) string {
+	return datasetPrefix(d.ID) + "g" + strconv.FormatInt(gen, 10) + "|"
+}
+
 // do is the shared request path: LRU lookup, then singleflight-coalesced
-// computation, then cache fill. Errors are never cached (a transient
-// formulation error must not poison the key), but concurrent identical
-// failures still coalesce. The cache is only filled while d is still the
-// registered dataset, which shrinks (not fully closes: the membership check
-// and the Add are not one atomic step against Remove) the window in which a
-// computation outliving a DELETE parks a dead entry in the LRU; such an
-// entry is unservable but harmless and ages out by eviction.
-func (s *Service) do(d *Dataset, key string, fn func() (any, error)) (any, error) {
+// computation, then cache fill. keyGen is the generation key was built
+// from; fn reports the generation it actually observed under the dataset
+// read lock, and the result is only cached when the two agree — an append
+// racing between key construction and computation would otherwise park a
+// newer-generation result under an old-generation key, an entry no future
+// request could ever hit (generations are monotonic) squatting in the
+// bounded LRU. Errors are never cached (a transient formulation error must
+// not poison the key), but concurrent identical failures still coalesce.
+// The cache is only filled while d is still the registered dataset, which
+// shrinks (not fully closes: the membership check and the Add are not one
+// atomic step against Remove) the window in which a computation outliving a
+// DELETE parks a dead entry in the LRU; such an entry is unservable but
+// harmless and ages out by eviction.
+func (s *Service) do(d *Dataset, key string, keyGen int64, fn func() (any, int64, error)) (any, error) {
 	s.requests.Add(1)
 	if v, ok := s.cache.Get(key); ok {
 		s.cacheHits.Add(1)
@@ -91,9 +110,16 @@ func (s *Service) do(d *Dataset, key string, fn func() (any, error)) (any, error
 	}
 	v, err, shared := s.sf.Do(key, func() (any, error) {
 		s.computed.Add(1)
-		v, err := fn()
-		if err == nil {
-			if cur, ok := s.reg.Get(d.Name); ok && cur.ID == d.ID {
+		v, gen, err := fn()
+		if err == nil && gen == keyGen {
+			// Re-check registration *and* generation at fill time: an append
+			// landing after fn released the dataset read lock has already run
+			// its eviction, and adding afterwards would park an unreachable
+			// old-generation entry. Like the Remove race below, the check and
+			// the Add are not one atomic step — the window shrinks to a few
+			// instructions, and an entry parked by a loss ages out by
+			// eviction.
+			if cur, ok := s.reg.Get(d.Name); ok && cur.ID == d.ID && cur.Generation() == keyGen {
 				s.cache.Add(key, v)
 			}
 		}
@@ -156,18 +182,62 @@ func (s *Service) Analyze(dataset, schemaStr string) (*ReportView, error) {
 	if !jointree.IsAcyclic(schema) {
 		return nil, s.reject(fmt.Errorf("service: schema %s is cyclic; only acyclic schemas have join trees", schema))
 	}
-	key := datasetPrefix(d.ID) + "analyze|" + schema.String()
-	v, err := s.do(d, key, func() (any, error) {
-		rep, err := core.Analyze(d.Rel, schema)
+	keyGen := d.Generation()
+	key := requestKey(d, keyGen) + "analyze|" + schema.String()
+	v, err := s.do(d, key, keyGen, func() (any, int64, error) {
+		var view *ReportView
+		gen, err := d.view(func() error {
+			rep, err := core.Analyze(d.Rel, schema)
+			if err != nil {
+				return err
+			}
+			view = NewReportView(rep)
+			return nil
+		})
 		if err != nil {
-			return nil, err
+			return nil, gen, err
 		}
-		return NewReportView(rep), nil
+		view.Generation = gen
+		return view, gen, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return v.(*ReportView), nil
+}
+
+// Append applies a batch of string records to the named dataset. Rows are
+// dictionary-encoded with the dataset's encoder, duplicates are skipped, and
+// the columnar engine is maintained incrementally. On success the dataset's
+// generation is bumped (if any row was added) and every cached result of the
+// dataset is dropped — subsequent requests recompute against the new
+// generation, so the hit/miss counters never conflate generations.
+func (s *Service) Append(dataset string, records [][]string, header bool) (*AppendView, error) {
+	// Every attempt counts — a failed append must be visible in Stats, and
+	// errors can never outnumber the traffic that produced them.
+	s.appends.Add(1)
+	d, err := s.dataset(dataset)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	added, dups, rows, gen, err := d.Append(records, header)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	if added > 0 {
+		// Results of previous generations are unreachable (keys embed the
+		// generation); evict them eagerly so they do not squat in the LRU.
+		s.cache.RemovePrefix(datasetPrefix(d.ID))
+	}
+	return &AppendView{
+		Dataset:    d.Name,
+		Appended:   added,
+		Duplicates: dups,
+		Rows:       rows,
+		Generation: gen,
+	}, nil
 }
 
 // Discover runs schema discovery (Chow-Liu, coarsening to the target
@@ -178,9 +248,20 @@ func (s *Service) Discover(dataset string, target float64, maxSep int) (*Discove
 	if err != nil {
 		return nil, s.reject(err)
 	}
-	key := datasetPrefix(d.ID) + "discover|" + strconv.FormatFloat(target, 'g', -1, 64) + "|" + strconv.Itoa(maxSep)
-	v, err := s.do(d, key, func() (any, error) {
-		return s.discover(d, target, maxSep)
+	keyGen := d.Generation()
+	key := requestKey(d, keyGen) + "discover|" + strconv.FormatFloat(target, 'g', -1, 64) + "|" + strconv.Itoa(maxSep)
+	v, err := s.do(d, key, keyGen, func() (any, int64, error) {
+		var view *DiscoverView
+		gen, err := d.view(func() error {
+			var err error
+			view, err = s.discover(d, target, maxSep)
+			return err
+		})
+		if err != nil {
+			return nil, gen, err
+		}
+		view.Generation = gen
+		return view, gen, nil
 	})
 	if err != nil {
 		return nil, err
@@ -268,31 +349,39 @@ func (s *Service) Entropy(dataset string, attrs, a, b, given []string) (*Entropy
 	default:
 		kind = "entropy"
 	}
-	key := datasetPrefix(d.ID) + "entropy|" + kind + "|" + attrsKey(attrs, a, b, given)
-	v, err := s.do(d, key, func() (any, error) {
+	keyGen := d.Generation()
+	key := requestKey(d, keyGen) + "entropy|" + kind + "|" + attrsKey(attrs, a, b, given)
+	v, err := s.do(d, key, keyGen, func() (any, int64, error) {
 		var nats float64
-		var err error
-		switch kind {
-		case "entropy":
-			nats, err = infotheory.Entropy(d.Rel, attrs...)
-		case "conditional_entropy":
-			nats, err = infotheory.ConditionalEntropy(d.Rel, attrs, given)
-		case "mi", "cmi":
-			nats, err = infotheory.ConditionalMutualInformation(d.Rel, a, b, given)
-		}
+		var rows int
+		gen, err := d.view(func() error {
+			rows = d.Rel.N()
+			var err error
+			switch kind {
+			case "entropy":
+				nats, err = infotheory.Entropy(d.Rel, attrs...)
+			case "conditional_entropy":
+				nats, err = infotheory.ConditionalEntropy(d.Rel, attrs, given)
+			case "mi", "cmi":
+				nats, err = infotheory.ConditionalMutualInformation(d.Rel, a, b, given)
+			}
+			return err
+		})
 		if err != nil {
-			return nil, err
+			return nil, gen, err
 		}
 		return &EntropyView{
-			Dataset: d.Name,
-			Kind:    kind,
-			Attrs:   attrs,
-			A:       a,
-			B:       b,
-			Given:   given,
-			Nats:    nats,
-			Bits:    infotheory.Bits(nats),
-		}, nil
+			Dataset:    d.Name,
+			Kind:       kind,
+			Attrs:      attrs,
+			A:          a,
+			B:          b,
+			Given:      given,
+			Rows:       rows,
+			Generation: gen,
+			Nats:       nats,
+			Bits:       infotheory.Bits(nats),
+		}, gen, nil
 	})
 	if err != nil {
 		return nil, err

@@ -59,6 +59,7 @@ type ReportView struct {
 	Schema     string        `json:"schema"`
 	Bags       [][]string    `json:"bags"`
 	N          int           `json:"n"`
+	Generation int64         `json:"generation"`
 	J          float64       `json:"j_nats"`
 	JBits      float64       `json:"j_bits"`
 	KL         float64       `json:"kl_nats"`
@@ -133,6 +134,7 @@ type MVDCandidateView struct {
 type DiscoverView struct {
 	Dataset      string             `json:"dataset"`
 	Rows         int                `json:"rows"`
+	Generation   int64              `json:"generation"`
 	Target       float64            `json:"target"`
 	MaxSep       int                `json:"max_sep"`
 	ChowLiu      CandidateView      `json:"chow_liu"`
@@ -141,14 +143,30 @@ type DiscoverView struct {
 	MVDs         []MVDCandidateView `json:"mvds"`
 }
 
-// EntropyView is the result of an entropy/MI/CMI query.
+// EntropyView is the result of an entropy/MI/CMI query. Rows and Generation
+// identify the dataset state the value was computed against: both are read
+// under the same lock as the measure, so a response can never pair one
+// generation's label with another generation's number.
 type EntropyView struct {
-	Dataset string   `json:"dataset"`
-	Kind    string   `json:"kind"` // "entropy", "conditional_entropy", "mi", "cmi"
-	Attrs   []string `json:"attrs,omitempty"`
-	A       []string `json:"a,omitempty"`
-	B       []string `json:"b,omitempty"`
-	Given   []string `json:"given,omitempty"`
-	Nats    float64  `json:"nats"`
-	Bits    float64  `json:"bits"`
+	Dataset    string   `json:"dataset"`
+	Kind       string   `json:"kind"` // "entropy", "conditional_entropy", "mi", "cmi"
+	Attrs      []string `json:"attrs,omitempty"`
+	A          []string `json:"a,omitempty"`
+	B          []string `json:"b,omitempty"`
+	Given      []string `json:"given,omitempty"`
+	Rows       int      `json:"rows"`
+	Generation int64    `json:"generation"`
+	Nats       float64  `json:"nats"`
+	Bits       float64  `json:"bits"`
+}
+
+// AppendView is the result of a streaming append batch: how many rows were
+// new, how many were duplicates (appends are idempotent — re-sending a batch
+// adds nothing), and the dataset's row count and generation after the batch.
+type AppendView struct {
+	Dataset    string `json:"dataset"`
+	Appended   int    `json:"appended"`
+	Duplicates int    `json:"duplicates"`
+	Rows       int    `json:"rows"`
+	Generation int64  `json:"generation"`
 }
