@@ -17,6 +17,9 @@
 // skipped), so a producer can keep appending lines to the CSV and the
 // daemon streams them in without a restart or an engine rebuild — each
 // absorbed batch bumps the dataset's generation, visible in every response.
+// Lines the watcher has to drop (wrong field count, permanently unparseable,
+// or lost to a deterministically failing chunk) are counted and exposed per
+// dataset as "skipped_lines" in /stats, not just logged.
 //
 // Endpoints (see internal/service.NewHandler):
 //
@@ -29,6 +32,7 @@
 //	GET    /analyze?dataset=X&schema=A,B|B,C
 //	GET    /discover?dataset=X[&target=0.01][&maxsep=1]
 //	GET    /entropy?dataset=X&attrs=A,B | &a=A&b=B[&given=C]
+//	POST   /batch                             (JSON: many queries, one snapshot)
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // drain (up to a timeout) before the process exits.
@@ -270,6 +274,7 @@ func watchLoop(ctx context.Context, svc *service.Service, name, path string, off
 					}
 				}
 				if dropped := len(records) - len(kept); dropped > 0 {
+					svc.AddSkippedLines(name, int64(dropped))
 					fmt.Fprintf(stderr, "watch %q: dropped %d rows with the wrong field count\n", path, dropped)
 				}
 				records = kept
@@ -280,7 +285,13 @@ func watchLoop(ctx context.Context, svc *service.Service, name, path string, off
 			if err != nil {
 				// Deterministic for these bytes (header mismatch, bad
 				// encoding): skip the consumed prefix so the watcher is
-				// never wedged.
+				// never wedged. The chunk at offset 0 includes the header
+				// row, which is not a lost data line.
+				lost := len(records)
+				if offset == 0 && lost > 0 {
+					lost--
+				}
+				svc.AddSkippedLines(name, int64(lost))
 				fmt.Fprintf(stderr, "watch %q: skipping %d bytes (rows lost): %v\n", path, consumed, err)
 				offset += consumed
 				retries = parseRetries
@@ -308,6 +319,7 @@ func watchLoop(ctx context.Context, svc *service.Service, name, path string, off
 			continue
 		}
 		skip := int64(bytes.IndexByte(buf[consumed:], '\n') + 1)
+		svc.AddSkippedLines(name, 1)
 		fmt.Fprintf(stderr, "watch %q: skipping %d unparseable bytes (a row lost): %v\n", path, skip, parseErr)
 		offset += skip
 		retries = parseRetries

@@ -260,6 +260,14 @@ func TestDaemonWatch(t *testing.T) {
 	if ent["generation"] != float64(5) || ent["rows"] != float64(7) {
 		t.Fatalf("entropy after watch append: %v", ent)
 	}
+	// The watcher dropped the "ragged" row and skipped the unparseable
+	// `a"b,7` line: both must be counted in /stats, per dataset, not only
+	// logged to stderr.
+	stats := getJSON(t, base+"/stats")
+	skipped, ok := stats["skipped_lines"].(map[string]any)
+	if !ok || skipped["w"] != float64(2) {
+		t.Fatalf("skipped_lines = %v, want {w: 2} (stats: %v)", stats["skipped_lines"], stats)
+	}
 	if err := shutdown(); err != nil {
 		t.Fatalf("graceful shutdown: %v", err)
 	}

@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output into
+// machine-readable JSON, so CI can track the performance trajectory across
+// PRs without scraping free-form benchmark text.
+//
+// Usage:
+//
+//	go test -bench=. -run xxx ./... | benchjson > BENCH_results.json
+//	benchjson bench.txt > BENCH_results.json
+//
+// The output maps each benchmark (name with the -cpu suffix stripped) to its
+// ns/op plus, when present, B/op and allocs/op:
+//
+//	{
+//	  "benchmarks": [
+//	    {"name": "BenchmarkBatchAnalyze/batch", "ns_per_op": 3563078, ...}
+//	  ]
+//	}
+//
+// Lines that are not benchmark results (headers, PASS/ok, failures) are
+// ignored; a benchmark that appears several times (e.g. -count>1) keeps one
+// entry per occurrence, preserving input order.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+type output struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	in := stdin
+	if len(args) > 1 {
+		return fmt.Errorf("usage: benchjson [bench.txt] < go-test-bench-output")
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	out, err := parse(in)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func parse(in io.Reader) (*output, error) {
+	out := &output{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark... --- FAIL" lines
+		}
+		r := Result{Name: trimCPUSuffix(fields[0]), Iterations: iters}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op %q for %s", val, r.Name)
+				}
+				r.NsPerOp = v
+				seen = true
+			case "B/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					r.BytesPerOp = &v
+				}
+			case "allocs/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					r.AllocsPerOp = &v
+				}
+			}
+		}
+		if seen {
+			out.Benchmarks = append(out.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// trimCPUSuffix drops the trailing "-N" GOMAXPROCS marker go test appends to
+// benchmark names, so results are keyed stably across machines.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

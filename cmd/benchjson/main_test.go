@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ajdloss/internal/engine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBatchAnalyze/batch-8         	       3	   3563078 ns/op	 2616312 B/op	     594 allocs/op
+BenchmarkBatchAnalyze/sequential-cold-8 	       3	  12960554 ns/op	10642920 B/op	    1447 allocs/op
+BenchmarkEntropy-8   	 120	 9876.5 ns/op
+BenchmarkBroken --- FAIL: boom
+PASS
+ok  	ajdloss/internal/engine	0.093s
+`
+
+func TestParse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Benchmarks []Result `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(out.Benchmarks), out.Benchmarks)
+	}
+	b0 := out.Benchmarks[0]
+	if b0.Name != "BenchmarkBatchAnalyze/batch" || b0.NsPerOp != 3563078 || b0.Iterations != 3 {
+		t.Fatalf("first benchmark: %+v", b0)
+	}
+	if b0.BytesPerOp == nil || *b0.BytesPerOp != 2616312 || b0.AllocsPerOp == nil || *b0.AllocsPerOp != 594 {
+		t.Fatalf("first benchmark allocs: %+v", b0)
+	}
+	// The -8 cpu suffix is stripped; a name whose last segment is not a
+	// number keeps its dash.
+	b2 := out.Benchmarks[2]
+	if b2.Name != "BenchmarkEntropy" || b2.NsPerOp != 9876.5 || b2.BytesPerOp != nil {
+		t.Fatalf("third benchmark: %+v", b2)
+	}
+}
+
+func TestTrimCPUSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":          "BenchmarkX",
+		"BenchmarkX":            "BenchmarkX",
+		"BenchmarkX/sub-case-4": "BenchmarkX/sub-case",
+		"BenchmarkX/sub-case":   "BenchmarkX/sub-case",
+	} {
+		if got := trimCPUSuffix(in); got != want {
+			t.Errorf("trimCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	if err := run([]string{"a", "b"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("two args accepted")
+	}
+	if err := run([]string{"/nonexistent/bench.txt"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

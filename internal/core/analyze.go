@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 
+	"ajdloss/internal/engine"
+	"ajdloss/internal/infotheory"
 	"ajdloss/internal/jointree"
 	"ajdloss/internal/relation"
 )
@@ -58,7 +60,21 @@ func Analyze(r *relation.Relation, s *jointree.Schema) (*Report, error) {
 	}
 	rep := &Report{Schema: s, Tree: t, N: r.N()}
 
-	if rep.J, err = JMeasure(r, t); err != nil {
+	// Warm every entropy the report needs through one batch plan against the
+	// relation's current snapshot: the plan orders the attribute sets
+	// parents-first in the subset lattice (shared refinements — bag prefixes,
+	// separators, CMI terms — are computed exactly once) and runs independent
+	// nodes on a worker pool. The sequential measure code below then only
+	// combines memoized values. Entropy-side measures read the captured
+	// snapshot, so they see one consistent generation even if the relation is
+	// appended to concurrently; the loss counts below read r's rows (on the
+	// service path r is a frozen View pinned to this same snapshot).
+	snap := r.Snapshot()
+	if err := warmReportPlan(snap, rooted); err != nil {
+		return nil, err
+	}
+
+	if rep.J, err = JMeasure(snap, t); err != nil {
 		return nil, err
 	}
 	f, err := NewFactorization(r, rooted)
@@ -75,7 +91,7 @@ func Analyze(r *relation.Relation, s *jointree.Schema) (*Report, error) {
 	rep.Loss = dec.Schema
 	rep.PerMVD = dec.Terms
 	rep.SumLogLoss = dec.SumLogLoss
-	sandwich, err := ComputeSandwich(r, rooted)
+	sandwich, err := ComputeSandwich(snap, rooted)
 	if err != nil {
 		return nil, err
 	}
@@ -84,6 +100,55 @@ func Analyze(r *relation.Relation, s *jointree.Schema) (*Report, error) {
 	rep.RhoLower = RhoLowerBound(rep.J)
 	rep.Lossless = rep.Loss.Spurious == 0
 	return rep, nil
+}
+
+// warmReportPlan enqueues every entropy a full report reads — bag and
+// separator entropies for J, the prefix/suffix and exact CMI terms of the
+// Theorem 2.2 sandwich, and the edge-MVD CMI terms shared by the sandwich
+// lower bound and the Proposition 5.1 decomposition — into one engine plan
+// and runs it. addCMI mirrors infotheory.ConditionalMutualInformation's
+// decomposition I(A;B|C) = H(BC) + H(AC) − H(ABC) − H(C).
+func warmReportPlan(snap *engine.Snapshot, rooted *jointree.Rooted) error {
+	p := snap.Plan()
+	addCMI := func(a, b, c []string) error {
+		for _, set := range [][]string{
+			infotheory.Union(b, c), infotheory.Union(a, c), infotheory.Union(a, b, c), c,
+		} {
+			if err := p.AddEntropy(set...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	t := rooted.Tree
+	for _, bag := range t.Bags {
+		if err := p.AddEntropy(bag...); err != nil {
+			return err
+		}
+	}
+	for e := range t.Edges {
+		if err := p.AddEntropy(t.Separator(e)...); err != nil {
+			return err
+		}
+	}
+	if err := p.AddEntropy(t.Attrs()...); err != nil {
+		return err
+	}
+	for i := 1; i < len(rooted.Order); i++ {
+		if err := addCMI(rooted.Prefix(i-1), rooted.Suffix(i), rooted.Sep[i]); err != nil {
+			return err
+		}
+		if err := addCMI(rooted.Prefix(i-1), rooted.Bag(i), rooted.Sep[i]); err != nil {
+			return err
+		}
+	}
+	for _, m := range t.EdgeMVDs() {
+		if err := addCMI(m.Y, m.Z, m.X); err != nil {
+			return err
+		}
+	}
+	p.Run(0)
+	return nil
 }
 
 // checkCoverage verifies that the schema's bags cover every attribute of r.

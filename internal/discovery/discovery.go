@@ -109,25 +109,32 @@ func ChowLiu(r *relation.Relation) (Candidate, error) {
 			pairs = append(pairs, pair{i: i, j: j})
 		}
 	}
-	// The O(n²) pairwise-MI matrix dominates Chow-Liu; compute it on a worker
-	// pool. Results land in per-pair slots, so the outcome is deterministic.
-	// Warm the singleton entropies first: each H(Xᵢ) is needed by n−1 pairs
-	// and pre-seeding the memo keeps the workers from racing to compute them.
+	// The O(n²) pairwise-MI matrix dominates Chow-Liu. Run it as one engine
+	// plan against the relation's snapshot: all singleton entropies (level 1
+	// of the lattice, each needed by n−1 pairs) and all pair entropies
+	// (level 2) execute parents-first on a bounded worker pool, each
+	// refinement computed exactly once. Combining the memoized entropies into
+	// MI values is then a cheap serial pass, deterministic by construction.
+	snap := r.Snapshot()
+	plan := snap.Plan()
 	for i := 0; i < n; i++ {
-		if _, err := infotheory.Entropy(r, attrs[i]); err != nil {
+		if err := plan.AddEntropy(attrs[i]); err != nil {
 			return Candidate{}, err
 		}
 	}
-	if err := forEachIndex(len(pairs), func(k int) error {
+	for _, p := range pairs {
+		if err := plan.AddEntropy(attrs[p.i], attrs[p.j]); err != nil {
+			return Candidate{}, err
+		}
+	}
+	plan.Run(0)
+	for k := range pairs {
 		p := &pairs[k]
-		mi, err := infotheory.MutualInformation(r, []string{attrs[p.i]}, []string{attrs[p.j]})
+		mi, err := infotheory.MutualInformation(snap, []string{attrs[p.i]}, []string{attrs[p.j]})
 		if err != nil {
-			return err
+			return Candidate{}, err
 		}
 		p.mi = mi
-		return nil
-	}); err != nil {
-		return Candidate{}, err
 	}
 	sort.Slice(pairs, func(a, b int) bool {
 		if pairs[a].mi != pairs[b].mi {
@@ -295,10 +302,30 @@ func FindMVDs(r *relation.Relation, maxSep int, threshold float64) ([]MVDCandida
 	if maxSep < 0 || maxSep >= n {
 		return nil, fmt.Errorf("discovery: need 0 ≤ maxSep < #attrs, got %d with %d attrs", maxSep, n)
 	}
+	// Warm the shared lower lattice through one plan before fanning out: every
+	// separator's CMI scan reads H(sep) and H(sep ∪ {a}) for each remaining
+	// attribute, and those sets (plus their sorted prefixes) overlap heavily
+	// across separators. The plan computes each exactly once, parents-first,
+	// instead of letting the workers below race to refine the same prefixes.
+	// The per-pair sets sep ∪ {a,b} are leaves — unshared — and stay on
+	// demand inside the scan.
+	snap := r.Snapshot()
+	seps := subsetsUpTo(attrs, maxSep)
+	plan := snap.Plan()
+	for _, sep := range seps {
+		if err := plan.AddEntropy(sep...); err != nil {
+			return nil, err
+		}
+		for _, a := range exclude(attrs, sep) {
+			if err := plan.AddEntropy(append(append([]string(nil), sep...), a)...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	plan.Run(0)
 	// Each separator's work — the O(|rest|²) CMI scan plus the star-schema
 	// J — is independent; fan it out on a worker pool. Per-separator slots
 	// keep the output order (and the final sort) deterministic.
-	seps := subsetsUpTo(attrs, maxSep)
 	results := make([]*MVDCandidate, len(seps))
 	if err := forEachIndex(len(seps), func(k int) error {
 		sep := seps[k]
@@ -306,7 +333,7 @@ func FindMVDs(r *relation.Relation, maxSep int, threshold float64) ([]MVDCandida
 		if len(rest) < 2 {
 			return nil
 		}
-		comps, err := dependenceComponents(r, rest, sep, threshold)
+		comps, err := dependenceComponents(snap, rest, sep, threshold)
 		if err != nil {
 			return err
 		}
@@ -317,7 +344,7 @@ func FindMVDs(r *relation.Relation, maxSep int, threshold float64) ([]MVDCandida
 		if err != nil {
 			return err
 		}
-		j, err := core.JMeasureSchema(r, schema)
+		j, err := core.JMeasureSchema(snap, schema)
 		if err != nil {
 			return err
 		}
@@ -343,7 +370,7 @@ func FindMVDs(r *relation.Relation, maxSep int, threshold float64) ([]MVDCandida
 
 // dependenceComponents partitions rest into connected components of the
 // graph with an edge (a,b) whenever I(a;b|sep) > threshold.
-func dependenceComponents(r *relation.Relation, rest, sep []string, threshold float64) ([][]string, error) {
+func dependenceComponents(r infotheory.Source, rest, sep []string, threshold float64) ([][]string, error) {
 	n := len(rest)
 	parent := make([]int, n)
 	for i := range parent {

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Plan is a batch of grouping/entropy computations against one snapshot,
+// scheduled to share partition work: requested attribute sets are closed
+// under sorted prefixes (each grouping is computed by refining its prefix),
+// ordered parents-first in the subset lattice, and executed level by level on
+// a bounded worker pool. Every refinement is therefore computed exactly once
+// — overlapping queries share their common lattice ancestors instead of
+// racing to recompute them — and independent nodes of a level run in
+// parallel.
+//
+// A Plan is a one-shot builder: Add* then Run. It is not safe for concurrent
+// use (build it in one goroutine), but Run may execute concurrently with
+// other readers of the snapshot.
+type Plan struct {
+	snap  *Snapshot
+	nodes map[string]*planNode
+}
+
+type planNode struct {
+	cols    []int
+	entropy bool
+}
+
+// Plan returns an empty plan against the snapshot.
+func (s *Snapshot) Plan() *Plan {
+	return &Plan{snap: s, nodes: make(map[string]*planNode)}
+}
+
+// AddGrouping requests the grouping of the attribute set (and, implicitly,
+// of every sorted prefix of it). Duplicate adds are free.
+func (p *Plan) AddGrouping(attrs ...string) error {
+	_, err := p.add(attrs, false)
+	return err
+}
+
+// AddEntropy requests the entropy (and grouping) of the attribute set.
+func (p *Plan) AddEntropy(attrs ...string) error {
+	_, err := p.add(attrs, true)
+	return err
+}
+
+func (p *Plan) add(attrs []string, entropy bool) (*planNode, error) {
+	cols, err := p.snap.sortedColumns(attrs)
+	if err != nil {
+		return nil, err
+	}
+	// Close under sorted prefixes so every node's refinement parent is a plan
+	// node of the previous level.
+	for l := 0; l < len(cols); l++ {
+		p.addCols(cols[:l], false)
+	}
+	return p.addCols(cols, entropy), nil
+}
+
+func (p *Plan) addCols(cols []int, entropy bool) *planNode {
+	key := colsKey(cols)
+	n, ok := p.nodes[key]
+	if !ok {
+		n = &planNode{cols: append([]int(nil), cols...)}
+		p.nodes[key] = n
+	}
+	n.entropy = n.entropy || entropy
+	return n
+}
+
+// Len returns the number of distinct lattice nodes the plan will touch
+// (including prefix-closure nodes).
+func (p *Plan) Len() int { return len(p.nodes) }
+
+// Run executes the plan: lattice levels in ascending size order, nodes within
+// a level on a pool of at most workers goroutines (workers ≤ 0 means
+// GOMAXPROCS). Because levels are barriers, every node's refinement parent is
+// already memoized when the node runs — each refinement happens exactly once,
+// and the snapshot's memo makes the results available to every later query.
+func (p *Plan) Run(workers int) {
+	levels := make(map[int][]*planNode)
+	maxLevel := 0
+	for _, n := range p.nodes {
+		l := len(n.cols)
+		levels[l] = append(levels[l], n)
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	for l := 0; l <= maxLevel; l++ {
+		nodes := levels[l]
+		forEach(len(nodes), workers, func(i int) {
+			n := nodes[i]
+			if n.entropy {
+				p.snap.groupEntropy(n.cols)
+			} else {
+				p.snap.grouping(n.cols)
+			}
+		})
+	}
+}
+
+// forEach runs fn(i) for i in [0,n) on a pool of at most workers goroutines
+// (workers ≤ 0 means GOMAXPROCS). fn must synchronize its own writes; results
+// should land in caller-owned per-index slots.
+func forEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

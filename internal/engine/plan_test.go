@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPlanPrefixClosure: adding one k-set must enqueue its whole sorted
+// prefix chain, deduplicated across overlapping requests.
+func TestPlanPrefixClosure(t *testing.T) {
+	snap := NewSnapshot([]string{"A", "B", "C", "D"}, randRows(3, 50, 4, 4))
+	p := snap.Plan()
+	if err := p.AddEntropy("A", "B", "C"); err != nil {
+		t.Fatal(err)
+	}
+	// {A,B,C} brings ∅, {A}, {A,B} along: 4 nodes.
+	if p.Len() != 4 {
+		t.Fatalf("plan has %d nodes, want 4", p.Len())
+	}
+	// Overlapping add shares the {A}, {A,B} prefixes: only {A,B,D} is new.
+	if err := p.AddEntropy("A", "B", "D"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 {
+		t.Fatalf("plan has %d nodes after overlapping add, want 5", p.Len())
+	}
+	if err := p.AddGrouping("Z"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	p.Run(0)
+	// Everything the plan touched must now answer from the memo with values
+	// identical to direct computation on a fresh snapshot.
+	cold := NewSnapshot([]string{"A", "B", "C", "D"}, snap.Rows())
+	for _, set := range [][]string{{"A", "B", "C"}, {"A", "B", "D"}, {"A", "B"}, {"A"}} {
+		got, _ := snap.GroupEntropy(set...)
+		want, _ := cold.GroupEntropy(set...)
+		if got != want {
+			t.Fatalf("H(%v) = %v, want %v", set, got, want)
+		}
+	}
+}
+
+// TestRunBatch: every query kind against direct single-query computation,
+// plus validation failures.
+func TestRunBatch(t *testing.T) {
+	attrs := []string{"A", "B", "C"}
+	// B = A (an exact FD A→B); C is noisy.
+	var rows []Tuple
+	for i := 0; i < 40; i++ {
+		rows = append(rows, Tuple{Value(i % 8), Value(i % 8), Value(i % 5)})
+	}
+	snap := NewSnapshot(attrs, dedup(rows))
+	qs := []Query{
+		{Kind: "entropy", Attrs: []string{"A"}},
+		{Kind: "entropy", Attrs: []string{"A"}, Given: []string{"C"}},
+		{Kind: "mi", A: []string{"A"}, B: []string{"B"}},
+		{Kind: "cmi", A: []string{"A"}, B: []string{"C"}, Given: []string{"B"}},
+		{Kind: "fd", X: []string{"A"}, Y: []string{"B"}},
+		{Kind: "fd", X: []string{"C"}, Y: []string{"A"}},
+		{Kind: "distinct", Attrs: []string{"A", "C"}},
+	}
+	res, err := snap.RunBatch(qs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hA, _ := snap.GroupEntropy("A")
+	if res[0].Nats != hA {
+		t.Fatalf("batch H(A) = %v, direct %v", res[0].Nats, hA)
+	}
+	hAC, _ := snap.GroupEntropy("A", "C")
+	hC, _ := snap.GroupEntropy("C")
+	if got, want := res[1].Nats, hAC-hC; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("batch H(A|C) = %v, direct %v", got, want)
+	}
+	// A determines B, so I(A;B) = H(A) = H(B).
+	if math.Abs(res[2].Nats-hA) > 1e-12 {
+		t.Fatalf("I(A;B) = %v, want H(A) = %v", res[2].Nats, hA)
+	}
+	if !res[4].Holds || res[4].G3 != 0 {
+		t.Fatalf("FD A→B: holds=%v g3=%v, want true, 0", res[4].Holds, res[4].G3)
+	}
+	if res[5].Holds {
+		t.Fatal("FD C→A reported as holding")
+	}
+	if res[5].G3 <= 0 || res[5].G3 >= 1 {
+		t.Fatalf("g3(C→A) = %v, want in (0,1)", res[5].G3)
+	}
+	gAC, _ := snap.Grouping("A", "C")
+	if res[6].Distinct != gAC.Groups() {
+		t.Fatalf("distinct(A,C) = %d, want %d", res[6].Distinct, gAC.Groups())
+	}
+
+	for _, bad := range []Query{
+		{Kind: "entropy"},
+		{Kind: "mi", A: []string{"A"}},
+		{Kind: "fd", X: []string{"A"}},
+		{Kind: "nope", Attrs: []string{"A"}},
+		{Kind: "entropy", Attrs: []string{"Z"}},
+	} {
+		if _, err := snap.RunBatch([]Query{bad}, 0); err == nil {
+			t.Fatalf("invalid query %+v accepted", bad)
+		}
+	}
+}
+
+func dedup(rows []Tuple) []Tuple {
+	seen := make(map[string]bool)
+	var out []Tuple
+	for _, r := range rows {
+		key := ""
+		for _, v := range r {
+			key += string(rune(v)) + ","
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestConcurrentSnapshotReads: many goroutines lazily filling the same
+// snapshot's memo while a writer extends the chain — run under -race in CI.
+func TestConcurrentSnapshotReads(t *testing.T) {
+	attrs := []string{"A", "B", "C", "D"}
+	rows := randRows(4, 400, 4, 5)
+	snap := NewSnapshot(attrs, rows[:200])
+	sets := [][]string{{"A"}, {"B"}, {"C", "D"}, {"A", "B"}, {"A", "C"}, {"B", "C", "D"}, {"A", "B", "C", "D"}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cur := snap
+		for i := 200; i < 400; i += 50 {
+			cur = cur.Extend(rows[i : i+50])
+			for _, set := range sets {
+				if _, err := cur.GroupEntropy(set...); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	forEach(64, 8, func(i int) {
+		set := sets[i%len(sets)]
+		h1, err := snap.GroupEntropy(set...)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h2, _ := snap.GroupEntropy(set...)
+		if h1 != h2 {
+			t.Errorf("entropy of %v changed under a frozen snapshot: %v vs %v", set, h1, h2)
+		}
+		g, err := snap.Grouping(set...)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(g.IDs) != 200 {
+			t.Errorf("grouping of %v covers %d rows, want 200", set, len(g.IDs))
+		}
+	})
+	<-done
+}

@@ -1,0 +1,422 @@
+// Package engine implements the immutable snapshot layer under the
+// relational substrate: point-in-time columnar views of a tuple set with a
+// memoized group-count partition lattice, plus a batch query planner that
+// shares partition refinements across overlapping lattice queries.
+//
+// A Snapshot is the unit of consistency for every information measure of the
+// library. It never changes after construction: Extend produces a *new*
+// snapshot for appended rows (reusing the parent's partitions incrementally,
+// copy-on-write), while readers of the old snapshot keep going with no locks
+// and no coordination — "whichever snapshot you grabbed" is a complete,
+// internally consistent view. The analysis service publishes the current
+// snapshot through an atomic pointer, which is what removes the per-dataset
+// reader/writer lock from its read path.
+//
+// Layering: engine sits below internal/relation (which delegates its group
+// machinery here) and implements infotheory's Source/EntropySource contracts
+// structurally, so measures can run against a Snapshot directly.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"ajdloss/internal/bitset"
+)
+
+// Value is a single attribute value (dictionary-encoded; identical to
+// relation.Value by alias).
+type Value = int32
+
+// Tuple is a row, one Value per attribute in schema order (identical to
+// relation.Tuple by alias).
+type Tuple = []Value
+
+// Grouping is the multiset projection of a snapshot onto an attribute set in
+// columnar form: IDs[i] is the dense group id (first-occurrence order over
+// stored rows) of row i, and Counts[g] is the multiplicity-weighted number of
+// tuples in group g. len(Counts) is the number of distinct projected rows.
+//
+// Groupings returned by a snapshot are shared, memoized values: callers must
+// not modify them. Unlike the pre-snapshot engine they are frozen — a later
+// Extend never touches a previously returned Grouping, so no copy is needed
+// to hold one across appends.
+type Grouping struct {
+	IDs    []int32
+	Counts []int
+}
+
+// Groups returns the number of distinct groups.
+func (g *Grouping) Groups() int { return len(g.Counts) }
+
+// memoEntry is one memoized grouping together with what copy-on-write
+// extension needs: the sorted column set it projects onto (to order
+// extensions parents-first) and the probe map refine built, keyed by
+// (parent group id, column value). Entries are immutable once published;
+// Extend clones Counts and the probe map into the child snapshot's entry.
+type memoEntry struct {
+	g    *Grouping
+	cols []int
+	next map[uint64]int32 // nil for the empty column set
+}
+
+// Snapshot is an immutable point-in-time view of a tuple set: the columnar
+// data, the (distinct) rows, per-row multiplicities for weighted sources, a
+// generation number, and the memo of partition groupings and entropies.
+//
+// Concurrency contract:
+//
+//   - Any number of goroutines may query a snapshot concurrently. The memo
+//     fills lazily under a short internal mutex (a cache-fill latch, not a
+//     reader/writer lock — refinement itself runs outside it, and a racing
+//     duplicate computation is benign because results are identical).
+//   - Extend must only be called by a single writer per snapshot chain (the
+//     owning Relation serializes appends). Extending never mutates the parent:
+//     readers mid-query on the parent are undisturbed, and column/ID slices
+//     shared between parent and child only ever see writes beyond the
+//     parent's row count.
+type Snapshot struct {
+	attrs []string
+	pos   map[string]int
+	cols  [][]Value // cols[c][row], row < n
+	rows  []Tuple   // the distinct stored rows, len n (shared with the owner)
+
+	weights []int64 // per-row multiplicity; nil means all 1
+	n       int     // number of stored (distinct) rows
+	total   int     // Σ weights (== n when weights is nil)
+	gen     int64   // 1 for a fresh snapshot; +1 per Extend
+
+	mu      sync.Mutex
+	memo    map[string]*memoEntry
+	entropy map[string]float64
+}
+
+// NewSnapshot builds generation-1 snapshot of the given distinct rows
+// (unweighted: every row counts once). The rows slice and its tuples are
+// retained, not copied — the caller must treat them as append-only.
+func NewSnapshot(attrs []string, rows []Tuple) *Snapshot {
+	return newSnapshot(attrs, rows, nil, len(rows))
+}
+
+// NewWeightedSnapshot builds a generation-1 snapshot of distinct rows with
+// per-row multiplicities summing to total (a multiset's empirical
+// distribution). Weighted snapshots cannot be extended: mutating a multiset
+// changes multiplicities of existing rows, which invalidates rather than
+// extends partitions.
+func NewWeightedSnapshot(attrs []string, rows []Tuple, weights []int64, total int) *Snapshot {
+	return newSnapshot(attrs, rows, weights, total)
+}
+
+func newSnapshot(attrs []string, rows []Tuple, weights []int64, total int) *Snapshot {
+	pos := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		pos[a] = i
+	}
+	cols := make([][]Value, len(attrs))
+	for c := range cols {
+		col := make([]Value, len(rows))
+		for i, t := range rows {
+			col[i] = t[c]
+		}
+		cols[c] = col
+	}
+	return &Snapshot{
+		attrs:   attrs,
+		pos:     pos,
+		cols:    cols,
+		rows:    rows,
+		weights: weights,
+		n:       len(rows),
+		total:   total,
+		gen:     1,
+		memo:    make(map[string]*memoEntry),
+		entropy: make(map[string]float64),
+	}
+}
+
+// Attrs returns the attribute names in schema order. Callers must not modify
+// the returned slice.
+func (s *Snapshot) Attrs() []string { return s.attrs }
+
+// N returns the total number of tuples counted with multiplicity — the
+// infotheory.Source contract.
+func (s *Snapshot) N() int { return s.total }
+
+// NumRows returns the number of distinct stored rows.
+func (s *Snapshot) NumRows() int { return s.n }
+
+// Rows returns the distinct stored rows of this snapshot. The slice is a
+// fixed-length view: later Extends never change it. Callers must not modify
+// the tuples.
+func (s *Snapshot) Rows() []Tuple { return s.rows[:s.n:s.n] }
+
+// Generation returns the snapshot's generation: 1 at construction,
+// incremented by every Extend along the chain.
+func (s *Snapshot) Generation() int64 { return s.gen }
+
+// Pos returns the column position of attribute a, or false.
+func (s *Snapshot) Pos(a string) (int, bool) {
+	p, ok := s.pos[a]
+	return p, ok
+}
+
+// sortedColumns resolves attrs to column positions, sorts them ascending and
+// drops duplicates (groupings are per attribute *set*; the canonical order
+// maximizes prefix sharing across lattice queries).
+func (s *Snapshot) sortedColumns(attrs []string) ([]int, error) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := s.pos[a]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown attribute %q", a)
+		}
+		cols[i] = p
+	}
+	sort.Ints(cols)
+	out := cols[:0]
+	for i, c := range cols {
+		if i == 0 || c != cols[i-1] {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+func colsKey(cols []int) string {
+	return bitset.FromSlice(cols).Key()
+}
+
+// Grouping returns the memoized columnar grouping of the snapshot onto attrs.
+// The returned value is shared and frozen: callers must not modify it.
+func (s *Snapshot) Grouping(attrs ...string) (*Grouping, error) {
+	cols, err := s.sortedColumns(attrs)
+	if err != nil {
+		return nil, err
+	}
+	return s.grouping(cols), nil
+}
+
+// GroupCounts returns the multiplicities of the multiset projection onto
+// attrs, indexed by dense group id — the infotheory.Source contract.
+func (s *Snapshot) GroupCounts(attrs ...string) ([]int, error) {
+	g, err := s.Grouping(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return g.Counts, nil
+}
+
+// GroupEntropy returns H(attrs) in nats under the snapshot's empirical
+// distribution, memoized per attribute set — the infotheory.EntropySource
+// contract.
+func (s *Snapshot) GroupEntropy(attrs ...string) (float64, error) {
+	cols, err := s.sortedColumns(attrs)
+	if err != nil {
+		return 0, err
+	}
+	return s.groupEntropy(cols), nil
+}
+
+// grouping returns the memoized grouping for the sorted column set, computing
+// it by refining the grouping of the prefix cols[:len-1] with the last
+// column. The recursion guarantees the memo is prefix-closed: every prefix of
+// a cached set is cached too (Extend and the planner rely on this).
+func (s *Snapshot) grouping(cols []int) *Grouping {
+	key := colsKey(cols)
+	s.mu.Lock()
+	ent, ok := s.memo[key]
+	s.mu.Unlock()
+	if ok {
+		return ent.g
+	}
+	if len(cols) == 0 {
+		ent = &memoEntry{g: s.trivialGrouping()}
+	} else {
+		parent := s.grouping(cols[:len(cols)-1])
+		g, next := s.refine(parent, cols[len(cols)-1])
+		ent = &memoEntry{g: g, cols: append([]int(nil), cols...), next: next}
+	}
+	s.mu.Lock()
+	if cached, ok := s.memo[key]; ok {
+		ent = cached // another goroutine won the race; keep its value
+	} else {
+		s.memo[key] = ent
+	}
+	s.mu.Unlock()
+	return ent.g
+}
+
+// trivialGrouping is the grouping on the empty attribute set: every row in
+// one group (no groups at all when the snapshot is empty).
+func (s *Snapshot) trivialGrouping() *Grouping {
+	g := &Grouping{IDs: make([]int32, s.n)}
+	if s.n > 0 {
+		g.Counts = []int{s.total}
+	}
+	return g
+}
+
+// refine splits every group of parent by the values of column col. New group
+// ids are assigned in first-occurrence row order, which makes the result —
+// and everything derived from it — deterministic. The probe map is returned
+// alongside so Extend can probe it (after cloning) for appended rows:
+// incremental and from-scratch construction assign identical ids because both
+// scan rows in the same stored order.
+func (s *Snapshot) refine(parent *Grouping, col int) (*Grouping, map[uint64]int32) {
+	column := s.cols[col]
+	ids := make([]int32, s.n)
+	// Key combines (parent group id, column value) into one uint64; both are
+	// 32-bit so the pairing is injective.
+	next := make(map[uint64]int32, len(parent.Counts)*2)
+	counts := make([]int, 0, len(parent.Counts)*2)
+	if s.weights == nil {
+		for i := 0; i < s.n; i++ {
+			k := uint64(uint32(parent.IDs[i]))<<32 | uint64(uint32(column[i]))
+			id, ok := next[k]
+			if !ok {
+				id = int32(len(counts))
+				next[k] = id
+				counts = append(counts, 0)
+			}
+			ids[i] = id
+			counts[id]++
+		}
+	} else {
+		for i := 0; i < s.n; i++ {
+			k := uint64(uint32(parent.IDs[i]))<<32 | uint64(uint32(column[i]))
+			id, ok := next[k]
+			if !ok {
+				id = int32(len(counts))
+				next[k] = id
+				counts = append(counts, 0)
+			}
+			ids[i] = id
+			counts[id] += int(s.weights[i])
+		}
+	}
+	return &Grouping{IDs: ids, Counts: counts}, next
+}
+
+// groupEntropy returns the entropy (nats) of the distribution assigning
+// probability Counts[g]/total to each group, memoized per column set.
+func (s *Snapshot) groupEntropy(cols []int) float64 {
+	key := colsKey(cols)
+	s.mu.Lock()
+	h, ok := s.entropy[key]
+	s.mu.Unlock()
+	if ok {
+		return h
+	}
+	g := s.grouping(cols)
+	h = entropyOfCounts(g.Counts, s.total)
+	s.mu.Lock()
+	s.entropy[key] = h
+	s.mu.Unlock()
+	return h
+}
+
+// entropyOfCounts is H = log total − (1/total) Σ c·log c, the numerically
+// stable form for uniform-ish counts. It returns 0 for total ≤ 0.
+func entropyOfCounts(counts []int, total int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range counts {
+		if c > 1 {
+			fc := float64(c)
+			s += fc * math.Log(fc)
+		}
+	}
+	return math.Log(float64(total)) - s/float64(total)
+}
+
+// Extend returns a new snapshot covering this snapshot's rows plus the batch
+// of freshly appended (distinct) rows: columns and rows grow, every grouping
+// memoized at call time is extended copy-on-write (appended rows probe a
+// clone of the retained refine maps, so the cost is O(batch × cached sets)
+// plus the O(groups) Counts clone — never O(n)), the generation is bumped,
+// and the entropy memo starts empty (every entropy changes when the total
+// does; the next query recomputes in O(groups) from the already-extended
+// grouping).
+//
+// The parent snapshot is left untouched: its groupings, counts and entropies
+// keep answering queries for readers that grabbed it before the extension.
+// Backing arrays of columns, rows and grouping IDs are shared where capacity
+// allows — the child only writes indexes ≥ the parent's row count, which the
+// parent never reads.
+//
+// Extend must be called by at most one writer per snapshot (the owning
+// relation serializes appends); it panics on weighted snapshots.
+func (s *Snapshot) Extend(fresh []Tuple) *Snapshot {
+	if s.weights != nil {
+		panic("engine: Extend on a weighted snapshot")
+	}
+	if len(fresh) == 0 {
+		return s
+	}
+	cols := make([][]Value, len(s.cols))
+	for c := range cols {
+		col := s.cols[c][:s.n:cap(s.cols[c])]
+		for _, t := range fresh {
+			col = append(col, t[c])
+		}
+		cols[c] = col
+	}
+	// Snapshot the parent's memo under its fill latch (concurrent readers may
+	// be inserting lazily computed groupings; entries themselves are immutable
+	// once published, so they are safe to read outside the lock).
+	s.mu.Lock()
+	entries := make([]*memoEntry, 0, len(s.memo))
+	for _, ent := range s.memo {
+		entries = append(entries, ent)
+	}
+	s.mu.Unlock()
+
+	child := &Snapshot{
+		attrs:   s.attrs,
+		pos:     s.pos,
+		cols:    cols,
+		rows:    append(s.rows[:s.n:cap(s.rows)], fresh...),
+		n:       s.n + len(fresh),
+		total:   s.total + len(fresh),
+		gen:     s.gen + 1,
+		memo:    make(map[string]*memoEntry, len(entries)),
+		entropy: make(map[string]float64),
+	}
+
+	// Extend parents-first (shorter column sets first): a child's appended ids
+	// are derived from its parent's, and the memo's prefix closure guarantees
+	// the parent entry is present.
+	sort.Slice(entries, func(i, j int) bool { return len(entries[i].cols) < len(entries[j].cols) })
+	for _, ent := range entries {
+		if len(ent.cols) == 0 {
+			ids := append(ent.g.IDs[:s.n:cap(ent.g.IDs)], make([]int32, len(fresh))...)
+			child.memo[colsKey(nil)] = &memoEntry{g: &Grouping{IDs: ids, Counts: []int{child.total}}}
+			continue
+		}
+		parent := child.memo[colsKey(ent.cols[:len(ent.cols)-1])].g
+		column := child.cols[ent.cols[len(ent.cols)-1]]
+		next := make(map[uint64]int32, len(ent.next)+len(fresh))
+		for k, v := range ent.next {
+			next[k] = v
+		}
+		counts := append(make([]int, 0, len(ent.g.Counts)+len(fresh)), ent.g.Counts...)
+		ids := ent.g.IDs[:s.n:cap(ent.g.IDs)]
+		for i := s.n; i < child.n; i++ {
+			k := uint64(uint32(parent.IDs[i]))<<32 | uint64(uint32(column[i]))
+			id, ok := next[k]
+			if !ok {
+				id = int32(len(counts))
+				next[k] = id
+				counts = append(counts, 0)
+			}
+			ids = append(ids, id)
+			counts[id]++
+		}
+		child.memo[colsKey(ent.cols)] = &memoEntry{g: &Grouping{IDs: ids, Counts: counts}, cols: ent.cols, next: next}
+	}
+	return child
+}

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randRows(seed int64, n, arity, domain int) []Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool)
+	var rows []Tuple
+	for len(rows) < n {
+		t := make(Tuple, arity)
+		key := make([]byte, arity)
+		for c := range t {
+			v := Value(rng.Intn(domain))
+			t[c] = v
+			key[c] = byte(v)
+		}
+		if seen[string(key)] {
+			continue
+		}
+		seen[string(key)] = true
+		rows = append(rows, t)
+	}
+	return rows
+}
+
+func sameGrouping(t *testing.T, label string, got, want *Grouping) {
+	t.Helper()
+	if len(got.IDs) != len(want.IDs) || got.Groups() != want.Groups() {
+		t.Fatalf("%s: %d ids / %d groups, want %d / %d", label, len(got.IDs), got.Groups(), len(want.IDs), want.Groups())
+	}
+	for i := range got.IDs {
+		if got.IDs[i] != want.IDs[i] {
+			t.Fatalf("%s: id[%d] = %d, want %d", label, i, got.IDs[i], want.IDs[i])
+		}
+	}
+	for g := range got.Counts {
+		if got.Counts[g] != want.Counts[g] {
+			t.Fatalf("%s: count[%d] = %d, want %d", label, g, got.Counts[g], want.Counts[g])
+		}
+	}
+}
+
+// TestExtendParity: a chain of Extends must assign exactly the group ids,
+// counts and entropies a cold snapshot over the concatenated rows would, for
+// every attribute set memoized before the appends.
+func TestExtendParity(t *testing.T) {
+	attrs := []string{"A", "B", "C"}
+	rows := randRows(1, 200, 3, 6)
+	snap := NewSnapshot(attrs, rows[:100])
+	sets := [][]string{{"A"}, {"B"}, {"C"}, {"A", "B"}, {"B", "C"}, {"A", "B", "C"}}
+	for _, set := range sets {
+		if _, err := snap.Grouping(set...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := snap
+	for i := 100; i < 200; i += 25 {
+		cur = cur.Extend(rows[i : i+25])
+		cold := NewSnapshot(attrs, rows[:i+25])
+		for _, set := range sets {
+			got, err := cur.Grouping(set...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := cold.Grouping(set...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameGrouping(t, "extend", got, want)
+			hg, _ := cur.GroupEntropy(set...)
+			hw, _ := cold.GroupEntropy(set...)
+			if hg != hw {
+				t.Fatalf("entropy %v: %v vs cold %v", set, hg, hw)
+			}
+		}
+	}
+	if cur.Generation() != 5 {
+		t.Fatalf("generation = %d after 4 extends, want 5", cur.Generation())
+	}
+}
+
+// TestExtendLeavesParentFrozen: the defining property of the snapshot layer —
+// extending must not change anything observable about the parent, including
+// groupings handed out before the extension and ones computed after it.
+func TestExtendLeavesParentFrozen(t *testing.T) {
+	attrs := []string{"A", "B"}
+	rows := randRows(2, 60, 2, 12)
+	parent := NewSnapshot(attrs, rows[:40])
+	gAB, err := parent.Grouping("A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idsBefore := append([]int32(nil), gAB.IDs...)
+	countsBefore := append([]int(nil), gAB.Counts...)
+	hBefore, _ := parent.GroupEntropy("A", "B")
+
+	child := parent.Extend(rows[40:])
+
+	// The shared Grouping value is frozen.
+	if len(gAB.IDs) != 40 {
+		t.Fatalf("parent grouping grew to %d ids", len(gAB.IDs))
+	}
+	for i := range idsBefore {
+		if gAB.IDs[i] != idsBefore[i] {
+			t.Fatalf("parent id[%d] changed", i)
+		}
+	}
+	for g := range countsBefore {
+		if gAB.Counts[g] != countsBefore[g] {
+			t.Fatalf("parent count[%d] changed", g)
+		}
+	}
+	// Queries against the parent still answer at the old generation, even for
+	// sets first computed after the extension.
+	if h, _ := parent.GroupEntropy("A", "B"); h != hBefore {
+		t.Fatalf("parent entropy changed: %v vs %v", h, hBefore)
+	}
+	gA, err := parent.Grouping("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gA.IDs) != 40 {
+		t.Fatalf("lazily computed parent grouping covers %d rows, want 40", len(gA.IDs))
+	}
+	if parent.N() != 40 || child.N() != 60 {
+		t.Fatalf("N: parent %d child %d, want 40, 60", parent.N(), child.N())
+	}
+	if len(parent.Rows()) != 40 || len(child.Rows()) != 60 {
+		t.Fatalf("rows: parent %d child %d", len(parent.Rows()), len(child.Rows()))
+	}
+	if parent.Generation()+1 != child.Generation() {
+		t.Fatalf("generations: %d, %d", parent.Generation(), child.Generation())
+	}
+}
+
+// TestExtendEmptyAndNoop: extending with no rows returns the receiver;
+// extending an empty snapshot works.
+func TestExtendEmptyAndNoop(t *testing.T) {
+	snap := NewSnapshot([]string{"A"}, nil)
+	if snap.Extend(nil) != snap {
+		t.Fatal("empty Extend must return the receiver")
+	}
+	if _, err := snap.Grouping("A"); err != nil {
+		t.Fatal(err)
+	}
+	child := snap.Extend([]Tuple{{1}, {2}})
+	g, err := child.Grouping("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Groups() != 2 || len(g.IDs) != 2 {
+		t.Fatalf("grouping after extend-from-empty: %d groups, %d ids", g.Groups(), len(g.IDs))
+	}
+	if h, _ := snap.GroupEntropy("A"); h != 0 {
+		t.Fatalf("entropy of empty snapshot = %v", h)
+	}
+}
+
+// TestWeightedSnapshot: multiplicity-weighted counts and entropies.
+func TestWeightedSnapshot(t *testing.T) {
+	rows := []Tuple{{1, 1}, {1, 2}, {2, 1}}
+	snap := NewWeightedSnapshot([]string{"A", "B"}, rows, []int64{3, 1, 2}, 6)
+	counts, err := snap.GroupCounts("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 || counts[0] != 4 || counts[1] != 2 {
+		t.Fatalf("weighted counts = %v, want [4 2]", counts)
+	}
+	if snap.N() != 6 {
+		t.Fatalf("N = %d, want 6", snap.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extend on a weighted snapshot must panic")
+		}
+	}()
+	snap.Extend([]Tuple{{9, 9}})
+}
+
+// TestUnknownAttribute: error paths.
+func TestUnknownAttribute(t *testing.T) {
+	snap := NewSnapshot([]string{"A"}, []Tuple{{1}})
+	if _, err := snap.Grouping("Z"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, err := snap.GroupEntropy("Z"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}

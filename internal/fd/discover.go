@@ -3,8 +3,6 @@ package fd
 import (
 	"sort"
 	"strings"
-
-	"ajdloss/internal/relation"
 )
 
 // DiscoverConfig controls levelwise FD discovery.
@@ -28,7 +26,7 @@ type Discovered struct {
 // dependents A. Minimality: X → A is reported only if no proper subset of X
 // determines A within the error budget. Results are sorted by (|X|, g₃,
 // text).
-func Discover(r *relation.Relation, cfg DiscoverConfig) ([]Discovered, error) {
+func Discover(r Source, cfg DiscoverConfig) ([]Discovered, error) {
 	maxLHS := cfg.MaxLHS
 	if maxLHS <= 0 {
 		maxLHS = 2

@@ -15,10 +15,22 @@ import (
 	"sort"
 	"strings"
 
+	"ajdloss/internal/engine"
 	"ajdloss/internal/infotheory"
 	"ajdloss/internal/jointree"
-	"ajdloss/internal/relation"
 )
+
+// Source is what the FD measures need from a data source: the total tuple
+// count and schema (via infotheory.Source and Attrs) plus memoized group-ID
+// partitions. relation.Relation and engine.Snapshot both satisfy it, so FD
+// checks run equally against a live relation or a frozen point-in-time
+// snapshot. The g₃ machinery assumes N() equals the number of stored rows
+// (unweighted sources); weighted multisets are outside its contract.
+type Source interface {
+	infotheory.Source
+	Attrs() []string
+	Grouping(attrs ...string) (*engine.Grouping, error)
+}
 
 // FD is a functional dependency X → Y.
 type FD struct {
@@ -42,7 +54,7 @@ func (f FD) String() string {
 // Holds reports whether R ⊨ X → Y: every X-value determines a single
 // Y-value. Equivalently the projections onto X and X∪Y have the same number
 // of distinct rows.
-func Holds(r *relation.Relation, f FD) (bool, error) {
+func Holds(r Source, f FD) (bool, error) {
 	if len(f.Y) == 0 {
 		return true, nil // trivial
 	}
@@ -63,14 +75,14 @@ func Holds(r *relation.Relation, f FD) (bool, error) {
 
 // ConditionalEntropy returns H(Y|X) in nats — Lee's characterization:
 // R ⊨ X → Y iff the value is 0.
-func ConditionalEntropy(r *relation.Relation, f FD) (float64, error) {
+func ConditionalEntropy(r Source, f FD) (float64, error) {
 	return infotheory.ConditionalEntropy(r, f.Y, f.X)
 }
 
 // G3Error returns the g₃ measure of the FD: the minimum fraction of tuples
 // that must be removed from R for X → Y to hold. 0 iff the FD holds. It runs
 // over the memoized group-ID partitions of X and X∪Y — no per-row hashing.
-func G3Error(r *relation.Relation, f FD) (float64, error) {
+func G3Error(r Source, f FD) (float64, error) {
 	if r.N() == 0 {
 		return 0, fmt.Errorf("fd: g3 of an empty relation is undefined")
 	}
@@ -88,7 +100,7 @@ func G3Error(r *relation.Relation, f FD) (float64, error) {
 	// For each X-group keep the most frequent Y-value: best[g] is the largest
 	// XY-group size among rows whose X-group is g.
 	best := make([]int, gx.Groups())
-	for i := 0; i < r.N(); i++ {
+	for i := range gxy.IDs {
 		c := gxy.Counts[gxy.IDs[i]]
 		if c > best[gx.IDs[i]] {
 			best[gx.IDs[i]] = c
@@ -156,7 +168,7 @@ func Implies(fds []FD, f FD) bool {
 }
 
 // IsSuperkey reports whether X determines every attribute of r.
-func IsSuperkey(r *relation.Relation, x []string) (bool, error) {
+func IsSuperkey(r Source, x []string) (bool, error) {
 	if len(x) == 0 {
 		return r.N() <= 1, nil
 	}
@@ -171,7 +183,7 @@ func IsSuperkey(r *relation.Relation, x []string) (bool, error) {
 // all attributes, no proper subset of which does), via a levelwise search
 // with superset pruning. maxSize caps the key size searched (≤ 0 means no
 // cap, i.e. up to the arity).
-func CandidateKeys(r *relation.Relation, maxSize int) ([][]string, error) {
+func CandidateKeys(r Source, maxSize int) ([][]string, error) {
 	attrs := append([]string(nil), r.Attrs()...)
 	sort.Strings(attrs)
 	n := len(attrs)

@@ -16,7 +16,23 @@ import (
 )
 
 // Projections returns R[Ω₁],…,R[Ω_m] for the bags of the schema.
+//
+// When r's snapshot engine is warm, the bag groupings are first scheduled
+// through one engine plan — parents-first in the subset lattice, on a worker
+// pool — so overlapping bags share their refinement prefixes (and reuse
+// whatever the entropy measures already memoized); relation.Project then
+// reads each bag's distinct rows straight off its grouping. Cold relations
+// skip the warm-up and take the plain row-scan path inside Project.
 func Projections(r *relation.Relation, s *jointree.Schema) ([]*relation.Relation, error) {
+	if snap, ok := r.SnapshotIfWarm(); ok {
+		p := snap.Plan()
+		for _, bag := range s.Bags() {
+			if err := p.AddGrouping(bag...); err != nil {
+				return nil, fmt.Errorf("join: planning bag projections: %w", err)
+			}
+		}
+		p.Run(0)
+	}
 	out := make([]*relation.Relation, s.Len())
 	for i, bag := range s.Bags() {
 		p, err := r.Project(bag...)

@@ -82,15 +82,20 @@ func TestAppendMatchesRebuildExactly(t *testing.T) {
 	}
 }
 
-// TestAppendIsIncremental: the memoized Grouping values must survive an
-// append (extended in place), not be rebuilt — pointer identity is the
-// observable proof that the engine was maintained rather than discarded.
+// TestAppendIsIncremental: an append must extend the memoized groupings
+// copy-on-write — the pre-append Grouping value stays frozen at the rows it
+// was computed over (snapshot semantics: in-flight readers are undisturbed),
+// while the post-append value covers the new rows with identical ids for the
+// shared prefix (the observable proof of incremental extension rather than a
+// from-scratch rebuild with accidentally matching ids is the append
+// benchmarks; the parity harness in append_quick_test.go pins the ids).
 func TestAppendIsIncremental(t *testing.T) {
 	r := FromRows([]string{"A", "B"}, []Tuple{{1, 1}, {1, 2}, {2, 1}})
 	before, err := r.Grouping("A", "B")
 	if err != nil {
 		t.Fatal(err)
 	}
+	genBefore := r.Generation()
 	if _, err := r.Append([]Tuple{{2, 2}, {3, 1}}); err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +103,22 @@ func TestAppendIsIncremental(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if before != after {
-		t.Fatal("append rebuilt the memoized grouping instead of extending it")
+	if before == after {
+		t.Fatal("append mutated the shared Grouping in place; snapshots must be copy-on-write")
+	}
+	if len(before.IDs) != 3 || before.Groups() != 3 {
+		t.Fatalf("pre-append grouping changed: %d ids, %d groups; want 3, 3", len(before.IDs), before.Groups())
 	}
 	if len(after.IDs) != 5 || after.Groups() != 5 {
 		t.Fatalf("extended grouping has %d ids, %d groups; want 5, 5", len(after.IDs), after.Groups())
+	}
+	for i := range before.IDs {
+		if after.IDs[i] != before.IDs[i] {
+			t.Fatalf("id[%d] changed across append: %d vs %d", i, before.IDs[i], after.IDs[i])
+		}
+	}
+	if g := r.Generation(); g != genBefore+1 {
+		t.Fatalf("generation = %d after append, want %d", g, genBefore+1)
 	}
 }
 

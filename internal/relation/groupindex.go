@@ -2,381 +2,112 @@ package relation
 
 import (
 	"fmt"
-	"math"
-	"sort"
-	"sync"
 
-	"ajdloss/internal/bitset"
+	"ajdloss/internal/engine"
 )
 
-// This file implements the columnar group-count engine: the primitive behind
-// every information measure of the library. A projection count query
-// Π_attrs(R) with multiplicities is answered by a *grouping* — a dense
-// integer group-ID per stored row plus a per-group (multiplicity-weighted)
-// count — computed by successive per-column refinement in the style of
-// TANE/stripped partitions: the grouping for X ∪ {a} refines the cached
-// grouping for X with the column of a. Groupings are memoized per relation,
-// keyed by the attribute bitset, so the overlapping lattice queries issued by
-// entropy, FD and MVD discovery share work instead of re-hashing a
-// 4·arity-byte string per row per query (the legacy ProjectCounts path, kept
-// only as a diagnostics/benchmark baseline).
+// This file is the delegation layer between the relational substrate and the
+// immutable snapshot engine (internal/engine): a Relation or Multiset owns a
+// chain of engine.Snapshots — the head answers queries, Append extends the
+// head into a new snapshot copy-on-write, and frozen Views pin one snapshot
+// so readers stay on a consistent generation with no locks. The group-count
+// machinery itself (stripped-partition refinement, per-bitset memo,
+// parents-first incremental extension) lives in internal/engine.
 
-// Grouping is the multiset projection of a source onto an attribute set in
-// columnar form: IDs[i] is the dense group id (first-occurrence order over
-// stored rows) of row i, and Counts[g] is the multiplicity-weighted number of
-// tuples in group g. len(Counts) is the number of distinct projected rows.
-//
-// Groupings returned by the engine are shared, memoized values: callers must
-// not modify them, and they are *live views* — a later Append on the source
-// extends IDs and Counts of previously returned Groupings in place. Callers
-// that need a frozen snapshot across mutations must copy.
-type Grouping struct {
-	IDs    []int32
-	Counts []int
-}
-
-// Groups returns the number of distinct groups.
-func (g *Grouping) Groups() int { return len(g.Counts) }
-
-// memoEntry is one memoized grouping together with what incremental append
-// maintenance needs: the sorted column set it projects onto (to order
-// extensions parents-first) and the probe map refine built, keyed by
-// (parent group id, column value), so a new row either lands in an existing
-// group by one map lookup or opens a fresh one.
-type memoEntry struct {
-	g    *Grouping
-	cols []int
-	next map[uint64]int32 // nil for the empty column set
-}
-
-// groupEngine holds the columnar mirror of a relation or multiset together
-// with the memoized groupings and entropies. It is safe for concurrent
-// readers: the cache is mutex-guarded, refinement runs outside the lock
-// (duplicated work on a race is benign — results are identical), and the
-// column data is immutable between mutations. appendRows (batched append)
-// must not run concurrently with readers; callers synchronize (the analysis
-// service holds a per-dataset write lock across appends).
-type groupEngine struct {
-	cols    [][]Value // cols[c][row]: columnar copy of the stored rows
-	weights []int64   // per-row multiplicity; nil means all 1
-	n       int       // number of stored (distinct) rows
-	total   int       // Σ weights (== n when weights is nil)
-
-	mu      sync.Mutex
-	cache   map[string]*memoEntry
-	entropy map[string]float64
-}
-
-// newGroupEngine transposes rows into columns and prepares empty caches.
-func newGroupEngine(arity int, rows []Tuple, weights []int64, total int) *groupEngine {
-	cols := make([][]Value, arity)
-	for c := range cols {
-		col := make([]Value, len(rows))
-		for i, t := range rows {
-			col[i] = t[c]
-		}
-		cols[c] = col
-	}
-	return &groupEngine{
-		cols:    cols,
-		weights: weights,
-		n:       len(rows),
-		total:   total,
-		cache:   make(map[string]*memoEntry),
-		entropy: make(map[string]float64),
-	}
-}
-
-func colsKey(cols []int) string {
-	return bitset.FromSlice(cols).Key()
-}
-
-// grouping returns the memoized grouping for the column set, computing it by
-// refining the grouping of the sorted prefix cols[:len-1] with the last
-// column. cols must be sorted ascending (the canonical order, so that
-// lattice-shaped query workloads share prefixes).
-func (e *groupEngine) grouping(cols []int) *Grouping {
-	key := colsKey(cols)
-	e.mu.Lock()
-	ent, ok := e.cache[key]
-	e.mu.Unlock()
-	if ok {
-		return ent.g
-	}
-	if len(cols) == 0 {
-		ent = &memoEntry{g: e.trivialGrouping()}
-	} else {
-		parent := e.grouping(cols[:len(cols)-1])
-		g, next := e.refine(parent, cols[len(cols)-1])
-		ent = &memoEntry{g: g, cols: append([]int(nil), cols...), next: next}
-	}
-	e.mu.Lock()
-	if cached, ok := e.cache[key]; ok {
-		ent = cached // another goroutine won the race; keep its value
-	} else {
-		e.cache[key] = ent
-	}
-	e.mu.Unlock()
-	return ent.g
-}
-
-// trivialGrouping is the grouping on the empty attribute set: every row in
-// one group (no groups at all when the source is empty).
-func (e *groupEngine) trivialGrouping() *Grouping {
-	g := &Grouping{IDs: make([]int32, e.n)}
-	if e.n > 0 {
-		g.Counts = []int{e.total}
-	}
-	return g
-}
-
-// refine splits every group of parent by the values of column col. New group
-// ids are assigned in first-occurrence row order, which makes the result —
-// and everything derived from it — deterministic. The probe map is returned
-// alongside the grouping so appendRows can extend it in place: incremental
-// and from-scratch construction assign identical ids because both scan rows
-// in the same stored order.
-func (e *groupEngine) refine(parent *Grouping, col int) (*Grouping, map[uint64]int32) {
-	column := e.cols[col]
-	ids := make([]int32, e.n)
-	// Key combines (parent group id, column value) into one uint64; both are
-	// 32-bit so the pairing is injective.
-	next := make(map[uint64]int32, len(parent.Counts)*2)
-	counts := make([]int, 0, len(parent.Counts)*2)
-	if e.weights == nil {
-		for i := 0; i < e.n; i++ {
-			k := uint64(uint32(parent.IDs[i]))<<32 | uint64(uint32(column[i]))
-			id, ok := next[k]
-			if !ok {
-				id = int32(len(counts))
-				next[k] = id
-				counts = append(counts, 0)
-			}
-			ids[i] = id
-			counts[id]++
-		}
-	} else {
-		for i := 0; i < e.n; i++ {
-			k := uint64(uint32(parent.IDs[i]))<<32 | uint64(uint32(column[i]))
-			id, ok := next[k]
-			if !ok {
-				id = int32(len(counts))
-				next[k] = id
-				counts = append(counts, 0)
-			}
-			ids[i] = id
-			counts[id] += int(e.weights[i])
-		}
-	}
-	return &Grouping{IDs: ids, Counts: counts}, next
-}
-
-// appendRows extends the engine with a batch of freshly inserted rows:
-// columns grow, every memoized grouping is extended in place (new rows probe
-// the retained refine maps, so the cost is O(batch × cached sets), never
-// O(n)), and the entropy memo is invalidated wholesale — every entropy
-// changes when the total does, and the next query recomputes in O(groups)
-// from the already-extended grouping instead of re-refining columns.
-//
-// Memoized groupings are extended parents-first (shorter column sets first):
-// a child's new ids are derived from its parent's, and grouping() guarantees
-// every prefix of a cached set is cached too.
-//
-// appendRows must not run concurrently with readers; it only supports
-// unweighted engines (relations — multisets mutate multiplicities of
-// existing rows, which invalidates rather than extends).
-func (e *groupEngine) appendRows(rows []Tuple) {
-	if len(rows) == 0 {
-		return
-	}
-	if e.weights != nil {
-		panic("relation: appendRows on a weighted engine")
-	}
-	for c := range e.cols {
-		col := e.cols[c]
-		for _, t := range rows {
-			col = append(col, t[c])
-		}
-		e.cols[c] = col
-	}
-	oldN := e.n
-	e.n += len(rows)
-	e.total += len(rows)
-
-	entries := make([]*memoEntry, 0, len(e.cache))
-	for _, ent := range e.cache {
-		entries = append(entries, ent)
-	}
-	sort.Slice(entries, func(i, j int) bool { return len(entries[i].cols) < len(entries[j].cols) })
-	for _, ent := range entries {
-		g := ent.g
-		if len(ent.cols) == 0 {
-			for range rows {
-				g.IDs = append(g.IDs, 0)
-			}
-			if len(g.Counts) == 0 {
-				g.Counts = []int{0}
-			}
-			g.Counts[0] = e.total
-			continue
-		}
-		parent := e.cache[colsKey(ent.cols[:len(ent.cols)-1])].g
-		column := e.cols[ent.cols[len(ent.cols)-1]]
-		for i := oldN; i < e.n; i++ {
-			k := uint64(uint32(parent.IDs[i]))<<32 | uint64(uint32(column[i]))
-			id, ok := ent.next[k]
-			if !ok {
-				id = int32(len(g.Counts))
-				ent.next[k] = id
-				g.Counts = append(g.Counts, 0)
-			}
-			g.IDs = append(g.IDs, id)
-			g.Counts[id]++
-		}
-	}
-	e.entropy = make(map[string]float64)
-}
-
-// groupEntropy returns the entropy (nats) of the distribution assigning
-// probability Counts[g]/total to each group, memoized per column set.
-func (e *groupEngine) groupEntropy(cols []int) float64 {
-	key := colsKey(cols)
-	e.mu.Lock()
-	h, ok := e.entropy[key]
-	e.mu.Unlock()
-	if ok {
-		return h
-	}
-	g := e.grouping(cols)
-	h = entropyOfCounts(g.Counts, e.total)
-	e.mu.Lock()
-	e.entropy[key] = h
-	e.mu.Unlock()
-	return h
-}
-
-// entropyOfCounts is H = log total − (1/total) Σ c·log c, the numerically
-// stable form for uniform-ish counts. It returns 0 for total ≤ 0.
-func entropyOfCounts(counts []int, total int) float64 {
-	if total <= 0 {
-		return 0
-	}
-	var s float64
-	for _, c := range counts {
-		if c > 1 {
-			fc := float64(c)
-			s += fc * math.Log(fc)
-		}
-	}
-	return math.Log(float64(total)) - s/float64(total)
-}
-
-// sortedColumns resolves attrs to column positions, sorts them ascending and
-// drops duplicates (groupings are per attribute *set*, so repeats are
-// harmless; the canonical order maximizes prefix sharing across queries).
-func sortedColumns(pos map[string]int, attrs []string) ([]int, error) {
-	cols := make([]int, len(attrs))
-	for i, a := range attrs {
-		p, ok := pos[a]
-		if !ok {
-			return nil, fmt.Errorf("relation: unknown attribute %q", a)
-		}
-		cols[i] = p
-	}
-	sort.Ints(cols)
-	out := cols[:0]
-	for i, c := range cols {
-		if i == 0 || c != cols[i-1] {
-			out = append(out, c)
-		}
-	}
-	return out, nil
-}
+// Grouping is the columnar multiset projection produced by the snapshot
+// engine; see engine.Grouping. The alias keeps the historical relation-level
+// name working.
+type Grouping = engine.Grouping
 
 // --- Relation API ---
 
-// engine returns the relation's group engine, building the columnar mirror
-// lazily on first use. Concurrent readers are safe; Insert invalidates.
-func (r *Relation) engine() *groupEngine {
+// Snapshot returns the relation's current engine snapshot, building the
+// columnar mirror lazily on first use. For a frozen View the pinned snapshot
+// is returned with no locking; for a live relation the head is read under a
+// short mutex (Insert invalidates the head, Append extends it).
+func (r *Relation) Snapshot() *engine.Snapshot {
+	if r.frozen {
+		return r.snap
+	}
 	r.engMu.Lock()
 	defer r.engMu.Unlock()
-	if r.eng == nil {
-		r.eng = newGroupEngine(len(r.attrs), r.rows, nil, len(r.rows))
+	if r.snap == nil {
+		r.snap = engine.NewSnapshot(r.attrs, r.rows)
 	}
-	return r.eng
+	return r.snap
+}
+
+// SnapshotIfWarm returns the current snapshot only if the columnar engine has
+// already been built — callers that merely want to *reuse* warm partitions
+// (e.g. grouping-based projection) use this to avoid paying the O(arity·n)
+// transpose on cold one-shot paths.
+func (r *Relation) SnapshotIfWarm() (*engine.Snapshot, bool) {
+	if r.frozen {
+		return r.snap, true
+	}
+	r.engMu.Lock()
+	defer r.engMu.Unlock()
+	return r.snap, r.snap != nil
+}
+
+// Generation returns the generation of the relation's current snapshot:
+// 1 for a freshly built engine, +1 per row-adding Append. A frozen View
+// reports the generation of its pinned snapshot.
+func (r *Relation) Generation() int64 {
+	return r.Snapshot().Generation()
 }
 
 // Grouping returns the memoized columnar grouping of r onto attrs. The
-// returned value is shared: callers must not modify it.
+// returned value is shared and frozen: callers must not modify it, and later
+// appends never change it (they extend a new snapshot instead).
 func (r *Relation) Grouping(attrs ...string) (*Grouping, error) {
-	cols, err := sortedColumns(r.pos, attrs)
-	if err != nil {
-		return nil, err
-	}
-	return r.engine().grouping(cols), nil
+	return r.Snapshot().Grouping(attrs...)
 }
 
 // GroupCounts returns the multiplicities of the multiset projection of r
 // onto attrs, indexed by dense group id. It implements infotheory.Source
 // and replaces the string-keyed ProjectCounts on every hot path.
 func (r *Relation) GroupCounts(attrs ...string) ([]int, error) {
-	g, err := r.Grouping(attrs...)
-	if err != nil {
-		return nil, err
-	}
-	return g.Counts, nil
+	return r.Snapshot().GroupCounts(attrs...)
 }
 
 // GroupEntropy returns H(attrs) in nats under r's empirical distribution,
 // memoized per attribute set. It implements infotheory.EntropySource.
 func (r *Relation) GroupEntropy(attrs ...string) (float64, error) {
-	cols, err := sortedColumns(r.pos, attrs)
-	if err != nil {
-		return 0, err
-	}
-	return r.engine().groupEntropy(cols), nil
+	return r.Snapshot().GroupEntropy(attrs...)
 }
 
 // --- Multiset API ---
 
-func (m *Multiset) engine() *groupEngine {
+// Snapshot returns the multiset's engine snapshot, building it lazily.
+// Weighted snapshots cannot be extended; Add invalidates and the next query
+// rebuilds.
+func (m *Multiset) Snapshot() *engine.Snapshot {
 	m.engMu.Lock()
 	defer m.engMu.Unlock()
-	if m.eng == nil {
-		m.eng = newGroupEngine(len(m.attrs), m.rows, m.mult, int(m.total))
+	if m.snap == nil {
+		m.snap = engine.NewWeightedSnapshot(m.attrs, m.rows, m.mult, int(m.total))
 	}
-	return m.eng
+	return m.snap
 }
 
 // Grouping returns the memoized columnar grouping of m onto attrs, with
 // multiplicity-weighted counts. The returned value is shared: callers must
 // not modify it.
 func (m *Multiset) Grouping(attrs ...string) (*Grouping, error) {
-	cols, err := sortedColumns(m.pos, attrs)
-	if err != nil {
-		return nil, err
-	}
-	return m.engine().grouping(cols), nil
+	return m.Snapshot().Grouping(attrs...)
 }
 
 // GroupCounts returns the multiplicities of the multiset projection onto
 // attrs, indexed by dense group id. It implements infotheory.Source.
 func (m *Multiset) GroupCounts(attrs ...string) ([]int, error) {
-	g, err := m.Grouping(attrs...)
-	if err != nil {
-		return nil, err
-	}
-	return g.Counts, nil
+	return m.Snapshot().GroupCounts(attrs...)
 }
 
 // GroupEntropy returns H(attrs) in nats under m's empirical distribution,
 // memoized per attribute set. It implements infotheory.EntropySource.
 func (m *Multiset) GroupEntropy(attrs ...string) (float64, error) {
-	cols, err := sortedColumns(m.pos, attrs)
-	if err != nil {
-		return 0, err
-	}
-	return m.engine().groupEntropy(cols), nil
+	return m.Snapshot().GroupEntropy(attrs...)
 }
 
 // --- cross-relation alignment ---

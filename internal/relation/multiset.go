@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"ajdloss/internal/engine"
 )
 
 // Multiset is a multiset of tuples over named attributes. The paper's
@@ -22,9 +24,9 @@ type Multiset struct {
 	index map[string]int
 	total int64
 
-	// eng is the lazily built columnar group-count engine (groupindex.go).
+	// snap is the lazily built weighted engine.Snapshot (groupindex.go).
 	engMu sync.Mutex
-	eng   *groupEngine
+	snap  *engine.Snapshot
 }
 
 // NewMultiset returns an empty multiset over the given attributes.
@@ -81,7 +83,7 @@ func (m *Multiset) Add(t Tuple, k int64) {
 		m.mult = append(m.mult, k)
 	}
 	m.total += k
-	m.eng = nil // invalidate the columnar engine
+	m.snap = nil // invalidate the snapshot; the next query rebuilds
 }
 
 // N returns the total number of tuples counted with multiplicity. It

@@ -15,6 +15,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"ajdloss/internal/engine"
 )
 
 // Value is a single attribute value. Real-world values (strings, etc.) are
@@ -31,15 +33,19 @@ type Relation struct {
 	attrs []string
 	pos   map[string]int
 	rows  []Tuple
-	index map[string]int // row key -> index in rows
+	index map[string]int // row key -> index in rows (nil on frozen Views until built)
 
-	// eng is the lazily built columnar group-count engine (groupindex.go).
-	// Reads are safe from multiple goroutines; mutation is not: Insert
-	// invalidates the engine, Append extends it incrementally. Callers that
-	// mix mutation with concurrent reads must synchronize externally (the
-	// analysis service holds a per-dataset RW lock).
+	// snap is the head of the relation's engine.Snapshot chain (lazily built;
+	// see groupindex.go). Reads are safe from multiple goroutines; mutation is
+	// not: Insert invalidates the head, Append extends it into a new snapshot
+	// while readers of older snapshots (frozen Views) continue undisturbed.
 	engMu sync.Mutex
-	eng   *groupEngine
+	snap  *engine.Snapshot
+
+	// frozen marks an immutable View pinned to one snapshot: mutation is
+	// disallowed and Snapshot() returns snap with no locking.
+	frozen    bool
+	indexOnce sync.Once // frozen Views build their row index lazily
 }
 
 // New returns an empty relation over the given attributes.
@@ -119,8 +125,11 @@ func rowKey(vals []Value) string {
 func RowKey(vals []Value) string { return rowKey(vals) }
 
 // Insert adds tuple t (copied) and reports whether it was newly added.
-// It panics if len(t) does not match the arity.
+// It panics if len(t) does not match the arity, or if r is a frozen View.
 func (r *Relation) Insert(t Tuple) bool {
+	if r.frozen {
+		panic("relation: Insert into a frozen View")
+	}
 	if len(t) != len(r.attrs) {
 		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(t), len(r.attrs)))
 	}
@@ -132,7 +141,7 @@ func (r *Relation) Insert(t Tuple) bool {
 	copy(cp, t)
 	r.index[k] = len(r.rows)
 	r.rows = append(r.rows, cp)
-	r.eng = nil // invalidate the columnar engine
+	r.snap = nil // invalidate the snapshot head; the next query rebuilds
 	return true
 }
 
@@ -147,10 +156,15 @@ func (r *Relation) Insert(t Tuple) bool {
 //
 // A tuple of the wrong arity fails the whole batch with an error before any
 // mutation (no partial append), so the streaming service path never panics.
-// Append must not run concurrently with readers or other mutations, and
-// Grouping/GroupCounts values obtained earlier are live views that reflect
-// the appended rows afterwards (copy them for a frozen snapshot).
+// Append must not run concurrently with other mutations, but it may run
+// concurrently with readers that hold a snapshot or a frozen View: the old
+// snapshot is never touched — Append extends it copy-on-write into a new
+// head snapshot with a bumped generation, and Grouping/GroupCounts values
+// obtained earlier stay frozen at the rows they were computed over.
 func (r *Relation) Append(rows []Tuple) (int, error) {
+	if r.frozen {
+		return 0, fmt.Errorf("relation: Append to a frozen View")
+	}
 	for _, t := range rows {
 		if len(t) != len(r.attrs) {
 			return 0, fmt.Errorf("relation: tuple arity %d != schema arity %d", len(t), len(r.attrs))
@@ -169,17 +183,48 @@ func (r *Relation) Append(rows []Tuple) (int, error) {
 		fresh = append(fresh, cp)
 	}
 	r.engMu.Lock()
-	if r.eng != nil {
-		r.eng.appendRows(fresh)
+	if r.snap != nil && len(fresh) > 0 {
+		r.snap = r.snap.Extend(fresh)
 	}
 	r.engMu.Unlock()
 	return len(fresh), nil
 }
 
-// Contains reports whether tuple t is in the relation.
+// View returns a frozen, immutable view of r pinned to its current snapshot:
+// the view shares the snapshot's rows and memoized partitions, answers every
+// read (including Grouping/GroupEntropy and the measures built on them) with
+// no lock acquisitions, and never observes later appends. Insert panics and
+// Append errors on a View; Clone returns an independent mutable copy.
+//
+// Views are how the analysis service serves reads during streaming appends:
+// each request grabs the current View through one atomic pointer load and
+// computes against exactly one generation.
+func (r *Relation) View() *Relation {
+	s := r.Snapshot()
+	return &Relation{
+		attrs:  r.attrs,
+		pos:    r.pos,
+		rows:   s.Rows(),
+		snap:   s,
+		frozen: true,
+	}
+}
+
+// Contains reports whether tuple t is in the relation. Frozen Views build
+// their row index lazily on the first membership test (views are created per
+// append on the streaming path, and most never see a Contains).
 func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != len(r.attrs) {
 		return false
+	}
+	if r.frozen {
+		r.indexOnce.Do(func() {
+			idx := make(map[string]int, len(r.rows))
+			for i, row := range r.rows {
+				idx[rowKey(row)] = i
+			}
+			r.index = idx
+		})
 	}
 	_, ok := r.index[rowKey(t)]
 	return ok
@@ -218,11 +263,44 @@ func (r *Relation) MustColumns(attrs []string) []int {
 }
 
 // Project returns the projection Π_attrs(R) as a new relation (a set:
-// duplicates eliminated).
+// duplicates eliminated, first-occurrence row order).
+//
+// When the snapshot engine is already warm, the distinct projected rows are
+// read off the memoized grouping — one representative per group id — instead
+// of re-hashing every row: the join layer projects each schema bag this way,
+// so bag projections share the partition work the entropy measures already
+// paid for. Cold relations keep the plain row scan (building the columnar
+// mirror for a one-shot projection would cost more than it saves).
 func (r *Relation) Project(attrs ...string) (*Relation, error) {
 	cols, err := r.columns(attrs)
 	if err != nil {
 		return nil, err
+	}
+	if s, ok := r.SnapshotIfWarm(); ok {
+		g, err := s.Grouping(attrs...)
+		if err != nil {
+			return nil, err
+		}
+		// Read rows off the snapshot, not r.rows: a concurrent Append may be
+		// growing the live slice, while the snapshot's rows are frozen at
+		// exactly the generation g was computed over.
+		rows := s.Rows()
+		out := New(attrs...)
+		seen := make([]bool, g.Groups())
+		out.rows = make([]Tuple, 0, g.Groups())
+		for i, id := range g.IDs {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			row := make(Tuple, len(cols))
+			for j, c := range cols {
+				row[j] = rows[i][c]
+			}
+			out.index[rowKey(row)] = len(out.rows)
+			out.rows = append(out.rows, row)
+		}
+		return out, nil
 	}
 	out := New(attrs...)
 	buf := make(Tuple, len(cols))

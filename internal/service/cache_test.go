@@ -1,0 +1,102 @@
+package service
+
+import "testing"
+
+// keys returns which of the candidate keys are currently cached, in probe
+// order, without promoting them (Len-neutral observation is impossible with
+// Get, so these helpers re-check order through targeted evictions instead).
+func has(c *lruCache, key string) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// TestLRUEvictionOrder pins the exact eviction sequence: least recently
+// *used* goes first, where both Get and a refreshing Add count as use.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRUCache(3)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("c", 3)
+	// Recency now c > b > a. Touch a via Get, then b via refreshing Add:
+	// recency b > a > c.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Add("b", 20)
+	c.Add("d", 4) // evicts c (LRU)
+	if has(c, "c") {
+		t.Fatal("c should have been evicted first")
+	}
+	c.Add("e", 5) // evicts a
+	if has(c, "a") {
+		t.Fatal("a should have been evicted second")
+	}
+	c.Add("f", 6) // evicts b
+	if has(c, "b") {
+		t.Fatal("b should have been evicted third")
+	}
+	for _, k := range []string{"d", "e", "f"} {
+		if !has(c, k) {
+			t.Fatalf("%s missing from cache", k)
+		}
+	}
+	if v, ok := c.Get("d"); !ok || v != 4 {
+		t.Fatalf("d = %v, %v", v, ok)
+	}
+}
+
+// TestLRUCapacityOne: a single-slot cache holds exactly the last-used entry.
+func TestLRUCapacityOne(t *testing.T) {
+	c := newLRUCache(1)
+	c.Add("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	c.Add("b", 2) // evicts a
+	if has(c, "a") {
+		t.Fatal("a survived in a capacity-1 cache")
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatalf("b = %v, %v", v, ok)
+	}
+	// Refreshing the sole entry must not evict it.
+	c.Add("b", 20)
+	if v, ok := c.Get("b"); !ok || v != 20 || c.Len() != 1 {
+		t.Fatalf("refreshed b = %v, %v, len %d", v, ok, c.Len())
+	}
+}
+
+// TestLRUCapacityZero: capacity 0 disables caching — Get always misses, Add
+// is a no-op, RemovePrefix tolerates the empty cache. The service relies on
+// this to run in coalescing-only mode.
+func TestLRUCapacityZero(t *testing.T) {
+	c := newLRUCache(0)
+	c.Add("a", 1)
+	c.Add("a", 2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-capacity cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+	c.RemovePrefix("a") // must not panic on the empty structures
+}
+
+// TestLRURemovePrefix: prefix removal drops every matching entry and only
+// those, regardless of recency position.
+func TestLRURemovePrefix(t *testing.T) {
+	c := newLRUCache(8)
+	for _, k := range []string{"d1|x", "d1|y", "d2|x", "d2|y"} {
+		c.Add(k, k)
+	}
+	c.Get("d1|x") // move a d1 entry to the front so removal spans the list
+	c.RemovePrefix("d1|")
+	if c.Len() != 2 || has(c, "d1|x") || has(c, "d1|y") {
+		t.Fatalf("d1 entries survived RemovePrefix (len %d)", c.Len())
+	}
+	for _, k := range []string{"d2|x", "d2|y"} {
+		if !has(c, k) {
+			t.Fatalf("%s wrongly removed", k)
+		}
+	}
+}

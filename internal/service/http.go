@@ -30,6 +30,9 @@ const maxUploadBytes = 512 << 20
 //	GET    /discover?dataset=X[&target=0.01][&maxsep=1]
 //	GET    /entropy?dataset=X&attrs=A,B[&given=C]
 //	GET    /entropy?dataset=X&a=A&b=B[&given=C]
+//	POST   /batch                        {"dataset": X, "queries": [...]} —
+//	                                     many entropy/mi/cmi/fd/distinct
+//	                                     queries against one snapshot
 //
 // Every response is JSON, and every analysis response echoes the dataset
 // generation it was computed against (appends bump the generation). Errors
@@ -118,12 +121,33 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"removed": name})
 	})
 	mux.HandleFunc("GET /analyze", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query()
-		// Raw ';' in a query string is treated as a separator and dropped by
-		// net/http, so the schema syntax also accepts '|' between bags:
-		// schema=A,C|B,C (or URL-encode the ';' as %3B).
-		schema := strings.ReplaceAll(q.Get("schema"), "|", ";")
-		v, err := s.Analyze(q.Get("dataset"), schema)
+		schema, err := schemaParam(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		v, err := s.Analyze(r.URL.Query().Get("dataset"), schema)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: reading batch body: %w", err))
+			return
+		}
+		var req struct {
+			Dataset string       `json:"dataset"`
+			Queries []BatchQuery `json:"queries"`
+		}
+		if err := unmarshalNumbers(data, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: parsing batch body: %w", err))
+			return
+		}
+		v, err := s.Batch(req.Dataset, req.Queries)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -160,6 +184,22 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, v)
 	})
 	return mux
+}
+
+// schemaParam extracts the schema query parameter, working around (and
+// documenting, in this one place) a net/http limitation: a raw ';' in a
+// query string is treated as a separator and *silently dropped* by
+// net/url.ParseQuery, so "schema=A,B;B,C" would reach the handler as the
+// truncated "A,B" and fail later with a confusing coverage error. Any raw
+// ';' anywhere in the query therefore gets an immediate, actionable 400;
+// well-formed requests separate schema bags with '|' (schema=A,C|B,C) or
+// URL-encode the ';' as %3B, both of which are normalized to the CLI's ';'
+// syntax here.
+func schemaParam(r *http.Request) (string, error) {
+	if strings.Contains(r.URL.RawQuery, ";") {
+		return "", fmt.Errorf("service: raw ';' in a query string is dropped by net/http before the schema can be parsed; separate schema bags with '|' (schema=A,C|B,C) or URL-encode the ';' as %%3B")
+	}
+	return strings.ReplaceAll(r.URL.Query().Get("schema"), "|", ";"), nil
 }
 
 // statusFor maps service errors onto HTTP statuses: unknown datasets are

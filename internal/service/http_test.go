@@ -110,7 +110,11 @@ func TestHTTPErrors(t *testing.T) {
 		method, path string
 		wantCode     int
 	}{
-		{"GET", "/analyze?dataset=missing&schema=A;B", http.StatusNotFound},
+		// A raw ';' anywhere in the query is a 400 with an actionable message
+		// (net/http would silently drop everything after it) — even before
+		// the dataset lookup, so the caller hears about the real problem.
+		{"GET", "/analyze?dataset=missing&schema=A;B", http.StatusBadRequest},
+		{"GET", "/analyze?dataset=missing&schema=A,B|B,C", http.StatusNotFound},
 		{"GET", "/discover?dataset=missing", http.StatusNotFound},
 		{"GET", "/entropy?dataset=missing&attrs=A", http.StatusNotFound},
 		{"GET", "/discover?dataset=missing&target=zzz", http.StatusBadRequest},
@@ -245,5 +249,64 @@ func TestHTTPNoHeaderRegistration(t *testing.T) {
 	// Unparseable boolean → 400, not silent truth.
 	if code, _ := doReq(t, "POST", srv.URL+"/datasets?name=z&noheader=maybe", "A\n1\n"); code != http.StatusBadRequest {
 		t.Fatalf("noheader=maybe: %d", code)
+	}
+}
+
+// TestHTTPBatch drives POST /batch end-to-end: many query kinds answered
+// against one snapshot in one round trip, with the generation echoed, plus
+// the error paths (malformed body, unknown dataset, invalid query).
+func TestHTTPBatch(t *testing.T) {
+	srv := httpFixture(t)
+	if code, body := doReq(t, "POST", srv.URL+"/datasets?name=block", blockCSV(3, 2, 2)); code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	code, body := doReq(t, "POST", srv.URL+"/batch", `{
+		"dataset": "block",
+		"queries": [
+			{"kind": "entropy", "attrs": ["A"]},
+			{"kind": "mi", "a": ["A"], "b": ["B"]},
+			{"kind": "cmi", "a": ["A"], "b": ["B"], "given": ["C"]},
+			{"kind": "fd", "x": ["A", "B", "C"], "y": ["A"]},
+			{"kind": "distinct", "attrs": ["A", "B", "C"]}
+		]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %v", code, body)
+	}
+	if body["generation"] != float64(1) || body["rows"] != float64(12) {
+		t.Fatalf("batch header: %v", body)
+	}
+	results, ok := body["results"].([]any)
+	if !ok || len(results) != 5 {
+		t.Fatalf("results: %v", body["results"])
+	}
+	if r := results[0].(map[string]any); r["nats"] == nil || r["bits"] == nil {
+		t.Fatalf("entropy result: %v", r)
+	}
+	// C ↠ A|B makes I(A;B|C) = 0 in the planted block instance.
+	if r := results[2].(map[string]any); r["nats"].(float64) != 0 {
+		t.Fatalf("cmi result: %v", r)
+	}
+	if r := results[3].(map[string]any); r["holds"] != true || r["g3"].(float64) != 0 {
+		t.Fatalf("fd result: %v", r)
+	}
+	if r := results[4].(map[string]any); r["distinct"] != float64(12) {
+		t.Fatalf("distinct result: %v", r)
+	}
+
+	for _, c := range []struct {
+		body     string
+		wantCode int
+	}{
+		{`{"dataset": "missing", "queries": [{"kind": "entropy", "attrs": ["A"]}]}`, http.StatusNotFound},
+		{`{"dataset": "block", "queries": []}`, http.StatusBadRequest},
+		{`{"dataset": "block", "queries": [{"kind": "warp"}]}`, http.StatusBadRequest},
+		{`{"dataset": "block", "queries": [{"kind": "entropy", "attrs": ["nope"]}]}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		code, body := doReq(t, "POST", srv.URL+"/batch", c.body)
+		if code != c.wantCode || body["error"] == "" {
+			t.Errorf("batch %s = %d (%v), want %d with error", c.body, code, body, c.wantCode)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ajdloss/internal/infotheory"
@@ -17,31 +18,40 @@ import (
 var ErrAlreadyRegistered = errors.New("dataset already registered")
 
 // Dataset is an ingested relation instance held warm by the registry: the
-// decoded Relation keeps its columnar group-count engine (and with it every
-// memoized partition and entropy) alive across requests, which is what turns
-// the engine's amortized speedup into cross-request serving capacity.
+// decoded Relation keeps its snapshot engine (and with it every memoized
+// partition and entropy) alive across requests, which is what turns the
+// engine's amortized speedup into cross-request serving capacity.
 //
-// Datasets are mutable through Append only. Every append that adds rows
-// bumps the *generation* (registration is generation 1); reads run under
-// view, which holds the dataset read lock so a computation observes exactly
-// one generation, and every JSON view echoes the generation it was computed
-// against. The generation is part of every result-cache and singleflight
-// key, so answers from different generations can never be confused.
+// Datasets are mutable through Append only, and reads never take a lock:
+// the current state is published as a frozen relation.View pinned to one
+// engine.Snapshot, reachable through a single atomic pointer load. An append
+// extends the snapshot copy-on-write (bumping its generation; registration
+// is generation 1) and publishes a new View, while requests that grabbed the
+// old View keep computing against it — a complete, internally consistent
+// older generation. Every JSON view echoes the generation of the snapshot it
+// was computed against, and the generation is part of every result-cache and
+// singleflight key, so answers from different generations can never be
+// confused.
 type Dataset struct {
 	// ID is unique per registration (never reused), so cached results keyed
 	// by ID can never be served for a later dataset of the same name.
-	ID           int64
-	Name         string
+	ID   int64
+	Name string
+	// Rel is the live relation; it must only be mutated under appendMu.
+	// Request paths read the published View instead.
 	Rel          *relation.Relation
 	Enc          *relation.Encoder
 	RegisteredAt time.Time
 
-	// mu guards Rel, Enc and gen: appends take the write lock, analysis
-	// computations the read lock (the engine itself is only safe for
-	// concurrent readers).
-	mu  sync.RWMutex
-	gen int64
+	// appendMu serializes writers (appends). Readers never touch it.
+	appendMu sync.Mutex
+	view     atomic.Pointer[relation.Relation]
 }
+
+// View returns the dataset's current frozen view: one atomic load, no locks.
+// The view is pinned to one snapshot generation and is safe for any number
+// of concurrent readers, during and across appends.
+func (d *Dataset) View() *relation.Relation { return d.view.Load() }
 
 // Info is the serializable summary of a registered dataset.
 type Info struct {
@@ -52,81 +62,72 @@ type Info struct {
 	RegisteredAt string   `json:"registered_at"`
 }
 
-// Info returns the dataset's serializable summary.
+// Info returns the dataset's serializable summary, read off the current
+// frozen view (lock-free, one consistent generation).
 func (d *Dataset) Info() Info {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	v := d.View()
 	return Info{
 		Name:         d.Name,
-		Rows:         d.Rel.N(),
-		Attrs:        d.Rel.Attrs(),
-		Generation:   d.gen,
+		Rows:         v.N(),
+		Attrs:        v.Attrs(),
+		Generation:   v.Generation(),
 		RegisteredAt: d.RegisteredAt.UTC().Format(time.RFC3339),
 	}
 }
 
-// Generation returns the dataset's current generation.
-func (d *Dataset) Generation() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.gen
-}
-
-// view runs fn while holding the dataset read lock and returns the
-// generation the computation observed — appends cannot interleave, so a
-// result and the generation stamped on it always agree.
-func (d *Dataset) view(fn func() error) (int64, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.gen, fn()
-}
+// Generation returns the generation of the dataset's current view.
+func (d *Dataset) Generation() int64 { return d.View().Generation() }
 
 // Append dictionary-encodes a batch of string records and appends them to
-// the relation, extending the columnar engine's memoized groupings
-// incrementally (no rebuild). With header set, the first record must repeat
-// the dataset's schema exactly and is skipped. Duplicate rows are ignored;
-// the generation is bumped only when at least one row was added. The whole
-// batch is validated before any mutation, so a malformed record cannot leave
-// a half-applied append behind.
+// the relation, extending the snapshot engine's memoized groupings
+// copy-on-write into a new snapshot (no rebuild) and publishing a new frozen
+// view. With header set, the first record must repeat the dataset's schema
+// exactly and is skipped. Duplicate rows are ignored; the generation bumps
+// only when at least one row was added (the snapshot chain advances exactly
+// then). The whole batch is validated before any mutation, so a malformed
+// record cannot leave a half-applied append behind. Readers are never
+// blocked: requests in flight keep their old view.
 func (d *Dataset) Append(records [][]string, header bool) (added, dups, rows int, gen int64, err error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.appendMu.Lock()
+	defer d.appendMu.Unlock()
+	cur := d.View()
 	attrs := d.Rel.Attrs()
 	if header {
 		if len(records) == 0 {
-			return 0, 0, d.Rel.N(), d.gen, fmt.Errorf("service: append body with header=1 has no header row")
+			return 0, 0, cur.N(), cur.Generation(), fmt.Errorf("service: append body with header=1 has no header row")
 		}
 		if len(records[0]) != len(attrs) {
-			return 0, 0, d.Rel.N(), d.gen, fmt.Errorf("service: append header has %d fields, schema has %d", len(records[0]), len(attrs))
+			return 0, 0, cur.N(), cur.Generation(), fmt.Errorf("service: append header has %d fields, schema has %d", len(records[0]), len(attrs))
 		}
 		for i, a := range records[0] {
 			if a != attrs[i] {
-				return 0, 0, d.Rel.N(), d.gen, fmt.Errorf("service: append header %q does not match schema attribute %q", a, attrs[i])
+				return 0, 0, cur.N(), cur.Generation(), fmt.Errorf("service: append header %q does not match schema attribute %q", a, attrs[i])
 			}
 		}
 		records = records[1:]
 	}
 	for i, rec := range records {
 		if len(rec) != len(attrs) {
-			return 0, 0, d.Rel.N(), d.gen, fmt.Errorf("service: append row %d has %d fields, schema has %d", i+1, len(rec), len(attrs))
+			return 0, 0, cur.N(), cur.Generation(), fmt.Errorf("service: append row %d has %d fields, schema has %d", i+1, len(rec), len(attrs))
 		}
 	}
 	tuples := make([]relation.Tuple, len(records))
 	for i, rec := range records {
 		t, err := d.Enc.Encode(rec)
 		if err != nil {
-			return 0, 0, d.Rel.N(), d.gen, fmt.Errorf("service: encoding append row %d: %w", i+1, err)
+			return 0, 0, cur.N(), cur.Generation(), fmt.Errorf("service: encoding append row %d: %w", i+1, err)
 		}
 		tuples[i] = t
 	}
 	added, err = d.Rel.Append(tuples)
 	if err != nil {
-		return 0, 0, d.Rel.N(), d.gen, err
+		return 0, 0, cur.N(), cur.Generation(), err
 	}
 	if added > 0 {
-		d.gen++
+		cur = d.Rel.View()
+		d.view.Store(cur)
 	}
-	return added, len(tuples) - added, d.Rel.N(), d.gen, nil
+	return added, len(tuples) - added, cur.N(), cur.Generation(), nil
 }
 
 // Registry holds named datasets for the analysis service. CSV ingestion
@@ -185,8 +186,8 @@ func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, er
 		Rel:          rel,
 		Enc:          enc,
 		RegisteredAt: time.Now(),
-		gen:          1,
 	}
+	d.view.Store(rel.View()) // generation 1: the freshly warmed snapshot
 	g.byName[name] = d
 	return d, nil
 }

@@ -6,12 +6,15 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"ajdloss/internal/core"
 	"ajdloss/internal/discovery"
+	"ajdloss/internal/engine"
 	"ajdloss/internal/infotheory"
 	"ajdloss/internal/jointree"
+	"ajdloss/internal/relation"
 )
 
 // ErrUnknownDataset is wrapped by every request against an unregistered
@@ -21,12 +24,18 @@ var ErrUnknownDataset = errors.New("unknown dataset")
 // Stats are the service's monotonic request counters, readable while the
 // service is under load.
 type Stats struct {
-	Requests  int64 `json:"requests"`   // analysis requests received
+	Requests  int64 `json:"requests"`   // analysis requests received (a batch counts once)
 	CacheHits int64 `json:"cache_hits"` // answered from the LRU cache
 	Coalesced int64 `json:"coalesced"`  // joined an identical in-flight computation
 	Computed  int64 `json:"computed"`   // actually executed
 	Errors    int64 `json:"errors"`     // requests (including appends) that returned an error
 	Appends   int64 `json:"appends"`    // streaming append batches received (accepted or not)
+	Batches   int64 `json:"batches"`    // POST /batch requests received
+	// SkippedLines counts, per -watch'ed dataset, the file lines the watcher
+	// had to drop: rows with the wrong field count, permanently unparseable
+	// lines, and rows lost to a deterministically failing chunk. Absent until
+	// the first skip.
+	SkippedLines map[string]int64 `json:"skipped_lines,omitempty"`
 }
 
 // Service is the concurrent analysis engine behind cmd/ajdlossd: a dataset
@@ -44,6 +53,10 @@ type Service struct {
 	computed  atomic.Int64
 	errors    atomic.Int64
 	appends   atomic.Int64
+	batches   atomic.Int64
+
+	skippedMu sync.Mutex
+	skipped   map[string]int64 // per-watched-dataset dropped line counts
 }
 
 // New returns a service with the given result-cache capacity (entries, not
@@ -66,43 +79,68 @@ func (s *Service) Remove(name string) bool {
 
 // Stats returns a snapshot of the request counters.
 func (s *Service) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Requests:  s.requests.Load(),
 		CacheHits: s.cacheHits.Load(),
 		Coalesced: s.coalesced.Load(),
 		Computed:  s.computed.Load(),
 		Errors:    s.errors.Load(),
 		Appends:   s.appends.Load(),
+		Batches:   s.batches.Load(),
 	}
+	s.skippedMu.Lock()
+	if len(s.skipped) > 0 {
+		st.SkippedLines = make(map[string]int64, len(s.skipped))
+		for k, v := range s.skipped {
+			st.SkippedLines[k] = v
+		}
+	}
+	s.skippedMu.Unlock()
+	return st
+}
+
+// AddSkippedLines records that the file watcher for the named dataset
+// dropped n lines (unparseable, wrong field count, or lost to a failing
+// chunk). Exposed per dataset in Stats so silently skipped input is visible
+// in /stats instead of only in the daemon's log.
+func (s *Service) AddSkippedLines(dataset string, n int64) {
+	if n <= 0 {
+		return
+	}
+	s.skippedMu.Lock()
+	if s.skipped == nil {
+		s.skipped = make(map[string]int64)
+	}
+	s.skipped[dataset] += n
+	s.skippedMu.Unlock()
 }
 
 func datasetPrefix(id int64) string { return "d" + strconv.FormatInt(id, 10) + "|" }
 
-// requestKey is the per-request key prefix: dataset identity plus a
-// *generation*. Before PR 3 keys assumed immutable datasets; with streaming
-// appends the generation segment is what guarantees a cached pre-append
-// result can never answer a post-append request (and vice versa) — the LRU
-// and singleflight maps key the generation explicitly instead of trusting
-// time-of-check registry state.
+// requestKey is the per-request key prefix: dataset identity plus the
+// *generation* of the frozen view the request grabbed. The generation
+// segment is what guarantees a cached pre-append result can never answer a
+// post-append request (and vice versa) — the LRU and singleflight maps key
+// the generation explicitly instead of trusting time-of-check registry
+// state. Since PR 4 the generation is a property of the captured snapshot
+// itself: the computation runs against exactly the view the key was built
+// from, so key and result can never disagree about the generation.
 func requestKey(d *Dataset, gen int64) string {
 	return datasetPrefix(d.ID) + "g" + strconv.FormatInt(gen, 10) + "|"
 }
 
 // do is the shared request path: LRU lookup, then singleflight-coalesced
-// computation, then cache fill. keyGen is the generation key was built
-// from; fn reports the generation it actually observed under the dataset
-// read lock, and the result is only cached when the two agree — an append
-// racing between key construction and computation would otherwise park a
-// newer-generation result under an old-generation key, an entry no future
-// request could ever hit (generations are monotonic) squatting in the
-// bounded LRU. Errors are never cached (a transient formulation error must
+// computation, then cache fill. fn computes against a frozen view whose
+// generation is keyGen — no locks, no possibility of observing another
+// generation. Errors are never cached (a transient formulation error must
 // not poison the key), but concurrent identical failures still coalesce.
-// The cache is only filled while d is still the registered dataset, which
-// shrinks (not fully closes: the membership check and the Add are not one
-// atomic step against Remove) the window in which a computation outliving a
-// DELETE parks a dead entry in the LRU; such an entry is unservable but
-// harmless and ages out by eviction.
-func (s *Service) do(d *Dataset, key string, keyGen int64, fn func() (any, int64, error)) (any, error) {
+// The cache is only filled while d is still the registered dataset at the
+// same generation: an append or DELETE landing mid-computation has already
+// run its eviction, and filling afterwards would park an unreachable
+// old-generation entry in the bounded LRU. The check and the Add are not one
+// atomic step — the window shrinks to a few instructions, and an entry
+// parked by a loss is unservable but harmless and ages out by eviction.
+func (s *Service) do(d *Dataset, key string, keyGen int64, fn func() (any, error)) (any, error) {
 	s.requests.Add(1)
 	if v, ok := s.cache.Get(key); ok {
 		s.cacheHits.Add(1)
@@ -110,15 +148,8 @@ func (s *Service) do(d *Dataset, key string, keyGen int64, fn func() (any, int64
 	}
 	v, err, shared := s.sf.Do(key, func() (any, error) {
 		s.computed.Add(1)
-		v, gen, err := fn()
-		if err == nil && gen == keyGen {
-			// Re-check registration *and* generation at fill time: an append
-			// landing after fn released the dataset read lock has already run
-			// its eviction, and adding afterwards would park an unreachable
-			// old-generation entry. Like the Remove race below, the check and
-			// the Add are not one atomic step — the window shrinks to a few
-			// instructions, and an entry parked by a loss ages out by
-			// eviction.
+		v, err := fn()
+		if err == nil {
 			if cur, ok := s.reg.Get(d.Name); ok && cur.ID == d.ID && cur.Generation() == keyGen {
 				s.cache.Add(key, v)
 			}
@@ -182,23 +213,20 @@ func (s *Service) Analyze(dataset, schemaStr string) (*ReportView, error) {
 	if !jointree.IsAcyclic(schema) {
 		return nil, s.reject(fmt.Errorf("service: schema %s is cyclic; only acyclic schemas have join trees", schema))
 	}
-	keyGen := d.Generation()
+	// Grab the frozen view once (one atomic load): the whole report — and its
+	// echoed generation — is computed against this snapshot, lock-free,
+	// regardless of concurrent appends.
+	rel := d.View()
+	keyGen := rel.Generation()
 	key := requestKey(d, keyGen) + "analyze|" + schema.String()
-	v, err := s.do(d, key, keyGen, func() (any, int64, error) {
-		var view *ReportView
-		gen, err := d.view(func() error {
-			rep, err := core.Analyze(d.Rel, schema)
-			if err != nil {
-				return err
-			}
-			view = NewReportView(rep)
-			return nil
-		})
+	v, err := s.do(d, key, keyGen, func() (any, error) {
+		rep, err := core.Analyze(rel, schema)
 		if err != nil {
-			return nil, gen, err
+			return nil, err
 		}
-		view.Generation = gen
-		return view, gen, nil
+		view := NewReportView(rep)
+		view.Generation = keyGen
+		return view, nil
 	})
 	if err != nil {
 		return nil, err
@@ -248,20 +276,16 @@ func (s *Service) Discover(dataset string, target float64, maxSep int) (*Discove
 	if err != nil {
 		return nil, s.reject(err)
 	}
-	keyGen := d.Generation()
+	rel := d.View()
+	keyGen := rel.Generation()
 	key := requestKey(d, keyGen) + "discover|" + strconv.FormatFloat(target, 'g', -1, 64) + "|" + strconv.Itoa(maxSep)
-	v, err := s.do(d, key, keyGen, func() (any, int64, error) {
-		var view *DiscoverView
-		gen, err := d.view(func() error {
-			var err error
-			view, err = s.discover(d, target, maxSep)
-			return err
-		})
+	v, err := s.do(d, key, keyGen, func() (any, error) {
+		view, err := s.discover(d.Name, rel, target, maxSep)
 		if err != nil {
-			return nil, gen, err
+			return nil, err
 		}
-		view.Generation = gen
-		return view, gen, nil
+		view.Generation = keyGen
+		return view, nil
 	})
 	if err != nil {
 		return nil, err
@@ -269,33 +293,34 @@ func (s *Service) Discover(dataset string, target float64, maxSep int) (*Discove
 	return v.(*DiscoverView), nil
 }
 
-func (s *Service) discover(d *Dataset, target float64, maxSep int) (*DiscoverView, error) {
-	cl, err := discovery.ChowLiu(d.Rel)
+// discover runs the discovery suite against one frozen view.
+func (s *Service) discover(name string, rel *relation.Relation, target float64, maxSep int) (*DiscoverView, error) {
+	cl, err := discovery.ChowLiu(rel)
 	if err != nil {
 		return nil, err
 	}
-	clLoss, err := core.ComputeLossTree(d.Rel, cl.Tree)
+	clLoss, err := core.ComputeLossTree(rel, cl.Tree)
 	if err != nil {
 		return nil, err
 	}
-	path, err := discovery.Coarsen(d.Rel, cl.Tree, target)
+	path, err := discovery.Coarsen(rel, cl.Tree, target)
 	if err != nil {
 		return nil, err
 	}
 	best := path[len(path)-1]
 	bestLoss := clLoss
 	if len(path) > 1 {
-		if bestLoss, err = core.ComputeLossTree(d.Rel, best.Tree); err != nil {
+		if bestLoss, err = core.ComputeLossTree(rel, best.Tree); err != nil {
 			return nil, err
 		}
 	}
-	mvds, err := discovery.FindMVDs(d.Rel, maxSep, target)
+	mvds, err := discovery.FindMVDs(rel, maxSep, target)
 	if err != nil {
 		return nil, err
 	}
 	view := &DiscoverView{
-		Dataset:      d.Name,
-		Rows:         d.Rel.N(),
+		Dataset:      name,
+		Rows:         rel.N(),
 		Target:       target,
 		MaxSep:       maxSep,
 		ChowLiu:      candidateView(cl, clLoss),
@@ -307,7 +332,7 @@ func (s *Service) discover(d *Dataset, target float64, maxSep int) (*DiscoverVie
 		if err != nil {
 			return nil, err
 		}
-		loss, err := core.ComputeLoss(d.Rel, schema)
+		loss, err := core.ComputeLoss(rel, schema)
 		if err != nil {
 			return nil, err
 		}
@@ -349,26 +374,22 @@ func (s *Service) Entropy(dataset string, attrs, a, b, given []string) (*Entropy
 	default:
 		kind = "entropy"
 	}
-	keyGen := d.Generation()
+	rel := d.View()
+	keyGen := rel.Generation()
 	key := requestKey(d, keyGen) + "entropy|" + kind + "|" + attrsKey(attrs, a, b, given)
-	v, err := s.do(d, key, keyGen, func() (any, int64, error) {
+	v, err := s.do(d, key, keyGen, func() (any, error) {
 		var nats float64
-		var rows int
-		gen, err := d.view(func() error {
-			rows = d.Rel.N()
-			var err error
-			switch kind {
-			case "entropy":
-				nats, err = infotheory.Entropy(d.Rel, attrs...)
-			case "conditional_entropy":
-				nats, err = infotheory.ConditionalEntropy(d.Rel, attrs, given)
-			case "mi", "cmi":
-				nats, err = infotheory.ConditionalMutualInformation(d.Rel, a, b, given)
-			}
-			return err
-		})
+		var err error
+		switch kind {
+		case "entropy":
+			nats, err = infotheory.Entropy(rel, attrs...)
+		case "conditional_entropy":
+			nats, err = infotheory.ConditionalEntropy(rel, attrs, given)
+		case "mi", "cmi":
+			nats, err = infotheory.ConditionalMutualInformation(rel, a, b, given)
+		}
 		if err != nil {
-			return nil, gen, err
+			return nil, err
 		}
 		return &EntropyView{
 			Dataset:    d.Name,
@@ -377,14 +398,101 @@ func (s *Service) Entropy(dataset string, attrs, a, b, given []string) (*Entropy
 			A:          a,
 			B:          b,
 			Given:      given,
-			Rows:       rows,
-			Generation: gen,
+			Rows:       rel.N(),
+			Generation: keyGen,
 			Nats:       nats,
 			Bits:       infotheory.Bits(nats),
-		}, gen, nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return v.(*EntropyView), nil
+}
+
+// maxBatchQueries bounds one POST /batch body: far beyond any dashboard's
+// needs, small enough that a hostile batch cannot monopolize the pool.
+const maxBatchQueries = 1024
+
+// batchKey renders the normalized engine queries into a canonical
+// request-key fragment. Attribute lists are sorted (the measures are
+// order-insensitive), queries are not (the response echoes them in order).
+func batchKey(qs []engine.Query) string {
+	parts := make([]string, len(qs))
+	for i, q := range qs {
+		parts[i] = strconv.Quote(q.Kind) + ":" + attrsKey(q.Attrs, q.Given, q.A, q.B, q.X, q.Y)
+	}
+	return strings.Join(parts, "&")
+}
+
+// Batch answers a set of entropy/MI/CMI/FD/distinct queries against one
+// consistent snapshot of the named dataset in a single round trip. All
+// queries observe the same generation — the view grabbed by one atomic load
+// — and their lattice work is shared: the engine plan orders every needed
+// attribute set parents-first and computes each refinement exactly once on a
+// bounded worker pool, so a batch of overlapping queries costs far less than
+// the same queries issued separately cold. Identical concurrent batches
+// coalesce, and finished batches are LRU-cached like any other request.
+func (s *Service) Batch(dataset string, qs []BatchQuery) (*BatchView, error) {
+	s.batches.Add(1)
+	d, err := s.dataset(dataset)
+	if err != nil {
+		return nil, s.reject(err)
+	}
+	if len(qs) == 0 {
+		return nil, s.reject(fmt.Errorf("service: batch needs at least one query"))
+	}
+	if len(qs) > maxBatchQueries {
+		return nil, s.reject(fmt.Errorf("service: batch of %d queries exceeds the limit of %d", len(qs), maxBatchQueries))
+	}
+	// Normalize kinds before the key is built, so spelling variants of the
+	// same batch ("MI" vs "mi", conditional_entropy vs entropy+given)
+	// coalesce and share cache entries; the response still echoes the
+	// caller's original queries.
+	eqs := make([]engine.Query, len(qs))
+	for i, q := range qs {
+		kind := strings.ToLower(strings.TrimSpace(q.Kind))
+		if kind == "conditional_entropy" {
+			kind = "entropy" // H(attrs|given) is entropy with given set
+		}
+		eqs[i] = engine.Query{
+			Kind: kind, Attrs: q.Attrs, Given: q.Given,
+			A: q.A, B: q.B, X: q.X, Y: q.Y,
+		}
+	}
+	rel := d.View()
+	keyGen := rel.Generation()
+	key := requestKey(d, keyGen) + "batch|" + batchKey(eqs)
+	v, err := s.do(d, key, keyGen, func() (any, error) {
+		results, err := rel.Snapshot().RunBatch(eqs, 0)
+		if err != nil {
+			return nil, fmt.Errorf("service: batch: %w", err)
+		}
+		view := &BatchView{
+			Dataset:    d.Name,
+			Rows:       rel.N(),
+			Generation: keyGen,
+			Results:    make([]BatchResultView, len(qs)),
+		}
+		for i, res := range results {
+			rv := BatchResultView{Query: qs[i]}
+			switch eqs[i].Kind {
+			case "fd":
+				holds, g3 := res.Holds, res.G3
+				rv.Holds, rv.G3 = &holds, &g3
+			case "distinct":
+				distinct := res.Distinct
+				rv.Distinct = &distinct
+			default:
+				nats, bits := res.Nats, infotheory.Bits(res.Nats)
+				rv.Nats, rv.Bits = &nats, &bits
+			}
+			view.Results[i] = rv
+		}
+		return view, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*BatchView), nil
 }

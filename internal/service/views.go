@@ -170,3 +170,42 @@ type AppendView struct {
 	Rows       int    `json:"rows"`
 	Generation int64  `json:"generation"`
 }
+
+// BatchQuery is one query of a POST /batch request. Kind selects the measure
+// and which fields are read:
+//
+//	"entropy"              H(attrs), or H(attrs|given) when given is set
+//	"conditional_entropy"  alias for entropy-with-given
+//	"mi" / "cmi"           I(a;b) / I(a;b|given)
+//	"fd"                   the FD x → y: holds plus its g₃ error
+//	"distinct"             number of distinct projected rows of attrs
+type BatchQuery struct {
+	Kind  string   `json:"kind"`
+	Attrs []string `json:"attrs,omitempty"`
+	Given []string `json:"given,omitempty"`
+	A     []string `json:"a,omitempty"`
+	B     []string `json:"b,omitempty"`
+	X     []string `json:"x,omitempty"`
+	Y     []string `json:"y,omitempty"`
+}
+
+// BatchResultView is the answer to one batch query, echoing the query it
+// answers. Exactly one family of fields is set: Nats/Bits for the entropy
+// kinds, Holds/G3 for "fd", Distinct for "distinct".
+type BatchResultView struct {
+	Query    BatchQuery `json:"query"`
+	Nats     *float64   `json:"nats,omitempty"`
+	Bits     *float64   `json:"bits,omitempty"`
+	Holds    *bool      `json:"holds,omitempty"`
+	G3       *float64   `json:"g3,omitempty"`
+	Distinct *int       `json:"distinct,omitempty"`
+}
+
+// BatchView is the result of a batch request: every query answered against
+// one snapshot — Rows and Generation identify it — in a single round trip.
+type BatchView struct {
+	Dataset    string            `json:"dataset"`
+	Rows       int               `json:"rows"`
+	Generation int64             `json:"generation"`
+	Results    []BatchResultView `json:"results"`
+}
