@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The durability e2e needs a real process to SIGKILL — a cancelled context
+// is a graceful shutdown, which is exactly what the test must NOT exercise.
+// TestMain re-execs the test binary as the daemon when the marker env var is
+// set; the test then kills that child at full speed and restarts it.
+func TestMain(m *testing.M) {
+	if os.Getenv("AJDLOSSD_E2E_CHILD") == "1" {
+		if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ajdlossd child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// childDaemon execs the test binary as an ajdlossd child process and returns
+// its base URL and a kill function (SIGKILL, then reap).
+func childDaemon(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Env = append(os.Environ(), "AJDLOSSD_E2E_CHILD=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	kill := func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	// The ready line is "ajdlossd listening on http://ADDR".
+	lines := bufio.NewScanner(stdout)
+	readyc := make(chan string, 1)
+	go func() {
+		for lines.Scan() {
+			if _, url, ok := strings.Cut(lines.Text(), "listening on "); ok {
+				readyc <- url
+				return
+			}
+		}
+		close(readyc)
+	}()
+	select {
+	case url, ok := <-readyc:
+		if !ok {
+			kill()
+			t.Fatal("child exited before ready")
+		}
+		return url, kill
+	case <-time.After(30 * time.Second):
+		kill()
+		t.Fatal("child daemon never became ready")
+	}
+	panic("unreachable")
+}
+
+func httpGetBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func httpPostBody(t *testing.T, url, contentType string, body []byte) []byte {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 && resp.StatusCode != 201 {
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+// TestDurabilityKillRestart is the restart round-trip acceptance test: an
+// ajdlossd with -data is fed concurrent appends (plus a mid-stream manual
+// checkpoint, so recovery exercises checkpoint + WAL tail), SIGKILLed, and
+// restarted — every dataset must come back at its exact pre-kill rows and
+// generation, and /analyze + /batch responses must be byte-identical to the
+// pre-kill warm answers.
+func TestDurabilityKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+	csv := filepath.Join(dir, "block.csv")
+	var rows strings.Builder
+	rows.WriteString("A,B,C\n")
+	for c := 1; c <= 3; c++ {
+		for a := 1; a <= 2; a++ {
+			for b := 1; b <= 2; b++ {
+				fmt.Fprintf(&rows, "%d,%d,%d\n", 10*c+a, 100*c+b, c)
+			}
+		}
+	}
+	if err := os.WriteFile(csv, []byte(rows.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, kill := childDaemon(t, "-data", dataDir, "-load", "block="+csv)
+	// Concurrent appenders: disjoint single-row batches, every one
+	// acknowledged before the kill.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				body := fmt.Sprintf("%d,%d,%d\n", 1000+10*g+i, 2000+10*g+i, 7+g)
+				httpPostBody(t, base+"/datasets/block/append", "text/csv", []byte(body))
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Mid-stream checkpoint, then more appends: the WAL now holds only a
+	// tail beyond the checkpoint.
+	httpPostBody(t, base+"/datasets/block/checkpoint", "", nil)
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf("%d,%d,%d\n", 3000+i, 4000+i, 5)
+		httpPostBody(t, base+"/datasets/block/append", "text/csv", []byte(body))
+	}
+
+	analyzeURL := base + "/analyze?dataset=block&schema=A,C|B,C"
+	batchBody := []byte(`{"dataset":"block","queries":[
+		{"kind":"entropy","attrs":["A","B","C"]},
+		{"kind":"cmi","a":["A"],"b":["B"],"given":["C"]},
+		{"kind":"fd","x":["C"],"y":["A"]},
+		{"kind":"distinct","attrs":["A","B"]}]}`)
+	wantAnalyze := httpGetBody(t, analyzeURL)
+	wantBatch := httpPostBody(t, base+"/batch", "application/json", batchBody)
+	wantStats := httpGetBody(t, base+"/datasets")
+
+	kill() // SIGKILL: no drain, no shutdown checkpoint
+
+	// Restart over the same -data; -load must defer to the recovered state.
+	base2, kill2 := childDaemon(t, "-data", dataDir, "-load", "block="+csv)
+	defer kill2()
+	gotStats := httpGetBody(t, base2+"/datasets")
+	stripTimes := func(b []byte) string {
+		var sb strings.Builder
+		for _, line := range strings.Split(string(b), "\n") {
+			if !strings.Contains(line, "registered_at") {
+				sb.WriteString(line)
+				sb.WriteByte('\n')
+			}
+		}
+		return sb.String()
+	}
+	if stripTimes(gotStats) != stripTimes(wantStats) {
+		t.Fatalf("recovered /datasets differs:\n got %s\nwant %s", gotStats, wantStats)
+	}
+	gotAnalyze := httpGetBody(t, base2+"/analyze?dataset=block&schema=A,C|B,C")
+	if !bytes.Equal(gotAnalyze, wantAnalyze) {
+		t.Fatalf("recovered /analyze not byte-identical:\n got %s\nwant %s", gotAnalyze, wantAnalyze)
+	}
+	gotBatch := httpPostBody(t, base2+"/batch", "application/json", batchBody)
+	if !bytes.Equal(gotBatch, wantBatch) {
+		t.Fatalf("recovered /batch not byte-identical:\n got %s\nwant %s", gotBatch, wantBatch)
+	}
+	// The recovered dataset keeps accepting appends on the same chain.
+	out := httpPostBody(t, base2+"/datasets/block/append", "text/csv", []byte("9991,9992,9\n"))
+	if !bytes.Contains(out, []byte(`"appended": 1`)) {
+		t.Fatalf("post-recovery append: %s", out)
+	}
+}

@@ -10,10 +10,24 @@
 //
 //	ajdlossd [-addr :8347] [-cache 256] [-load name=path.csv ...]
 //	         [-watch name=path.csv ...] [-watch-interval 2s]
+//	         [-data dir] [-wal-compact bytes] [-fsync]
+//
+// -data enables durability: every dataset gets a binary columnar checkpoint
+// plus an append-only CRC-checked WAL under the directory, appends are
+// write-ahead-logged before their new view is published, an outgrown WAL is
+// folded into a fresh checkpoint in the background (-wal-compact bounds
+// it), and at boot every dataset is recovered to its exact pre-shutdown
+// rows and generation — latest checkpoint, then WAL tail, a torn final
+// record truncated. The default durability posture survives process death
+// (SIGKILL); -fsync upgrades every WAL append to power-failure durability.
+// POST /datasets/{name}/checkpoint forces a checkpoint; /stats shows
+// wal_bytes and last_checkpoint per dataset.
 //
 // -watch loads a dataset like -load and then tails the file by byte offset:
 // complete new lines are appended to the live dataset (a partially flushed
-// line waits for its newline). Appends are idempotent (existing rows are
+// line waits for its newline while the file is growing; once the file has
+// been unchanged for -watch-tail-polls polls, a stable unterminated final
+// line is ingested as-is). Appends are idempotent (existing rows are
 // skipped), so a producer can keep appending lines to the CSV and the
 // daemon streams them in without a restart or an engine rebuild — each
 // absorbed batch bumps the dataset's generation, visible in every response.
@@ -55,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"ajdloss/internal/persist"
 	"ajdloss/internal/service"
 )
 
@@ -88,34 +103,67 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	fs.Var(&loads, "load", "preload dataset as name=path.csv (repeatable)")
 	fs.Var(&watches, "watch", "like -load, then poll the file and stream new rows in (repeatable)")
 	watchEvery := fs.Duration("watch-interval", 2*time.Second, "poll interval for -watch files")
+	tailPolls := fs.Int("watch-tail-polls", 3, "unchanged polls before a watched file's unterminated final line is ingested")
+	dataDir := fs.String("data", "", "durability directory: WAL + checkpoints per dataset, recovery at boot (empty = in-memory only)")
+	walCompact := fs.Int64("wal-compact", persist.DefaultCompactAt, "WAL bytes that trigger background checkpoint compaction (<0 disables)")
+	fsync := fs.Bool("fsync", false, "fsync the WAL on every append (power-failure durability)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if len(watches) > 0 && *watchEvery <= 0 {
 		return fmt.Errorf("-watch-interval must be positive, got %v", *watchEvery)
 	}
+	if len(watches) > 0 && *tailPolls <= 0 {
+		return fmt.Errorf("-watch-tail-polls must be positive, got %d", *tailPolls)
+	}
 
 	svc := service.New(*cacheSize)
-	load := func(flagName, spec string) (name, path string, err error) {
+	durable := *dataDir != ""
+	if durable {
+		store, err := persist.Open(*dataDir, persist.Options{Sync: *fsync, CompactAt: *walCompact})
+		if err != nil {
+			return err
+		}
+		recovered, err := svc.EnableDurability(store)
+		if err != nil {
+			return fmt.Errorf("recovering datasets from %s: %w", *dataDir, err)
+		}
+		for _, r := range recovered {
+			fmt.Fprintf(stderr, "recovered dataset %q: %d rows, generation %d (checkpoint %d + %d WAL rows)\n",
+				r.Name, r.Rows, r.Generation, r.CheckpointGeneration, r.ReplayedRows)
+			if r.DroppedRecords > 0 {
+				fmt.Fprintf(stderr, "recovered dataset %q: dropped %d unusable WAL records\n", r.Name, r.DroppedRecords)
+			}
+		}
+	}
+	load := func(flagName, spec string) (name, path string, recovered bool, err error) {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
-			return "", "", fmt.Errorf("bad %s %q, want name=path.csv", flagName, spec)
+			return "", "", false, fmt.Errorf("bad %s %q, want name=path.csv", flagName, spec)
+		}
+		// With -data, a dataset recovered at boot wins over its -load/-watch
+		// spec: the durable state carries appends the file alone does not.
+		if durable {
+			if _, ok := svc.Registry().Get(name); ok {
+				fmt.Fprintf(stderr, "dataset %q already recovered from -data; skipping %s of %s\n", name, flagName, path)
+				return name, path, true, nil
+			}
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			return "", "", err
+			return "", "", false, err
 		}
 		d, err := svc.Registry().Register(name, f, true)
 		f.Close()
 		if err != nil {
-			return "", "", fmt.Errorf("loading %s: %w", path, err)
+			return "", "", false, fmt.Errorf("loading %s: %w", path, err)
 		}
 		fmt.Fprintf(stderr, "loaded dataset %q: %d rows over %s\n",
 			name, d.Rel.N(), strings.Join(d.Rel.Attrs(), ","))
-		return name, path, nil
+		return name, path, false, nil
 	}
 	for _, spec := range loads {
-		if _, _, err := load("-load", spec); err != nil {
+		if _, _, _, err := load("-load", spec); err != nil {
 			return err
 		}
 	}
@@ -134,21 +182,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		// producer appends between the Stat and the load are re-read once
 		// and deduped (appends are idempotent). Without the snapshot the
 		// first tick would re-read and re-encode the entire file under the
-		// dataset write lock just to add zero rows.
+		// dataset write lock just to add zero rows. The replacement sentinel
+		// (the bytes just before the tail) is captured at the same moment:
+		// read any later and it could describe a file already swapped under
+		// us, blinding the watcher to the swap.
 		var start int64
+		var sentinel []byte
 		if _, p, ok := strings.Cut(spec, "="); ok {
 			if fi, err := os.Stat(p); err == nil {
 				start = fi.Size()
 			}
+			if start > 0 {
+				if f, err := os.Open(p); err == nil {
+					n := min(start, sentinelLen)
+					buf := make([]byte, n)
+					if _, err := f.ReadAt(buf, start-n); err == nil {
+						sentinel = buf
+					} else {
+						start = 0
+					}
+					f.Close()
+				} else {
+					start = 0
+				}
+			}
 		}
-		name, path, err := load("-watch", spec)
+		name, path, recovered, err := load("-watch", spec)
 		if err != nil {
 			return err
+		}
+		if recovered {
+			// The durable state covers an unknown prefix of the file (rows
+			// written while the daemon was down are on disk but not in any
+			// WAL). Re-read from the top once; appends are idempotent.
+			start = 0
+			sentinel = nil
 		}
 		watchWG.Add(1)
 		go func() {
 			defer watchWG.Done()
-			watchLoop(watchCtx, svc, name, path, start, *watchEvery, stderr)
+			watchLoop(watchCtx, svc, name, path, start, sentinel, *watchEvery, *tailPolls, stderr)
 		}()
 	}
 
@@ -179,6 +252,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if durable {
+		// Quiesce the watchers first (idempotent with the deferred cleanup) —
+		// a watcher appending after its dataset's final checkpoint would
+		// defeat the point of the sweep. Then fold every dataset into a final
+		// checkpoint so the next boot loads one file per dataset instead of
+		// replaying a WAL tail. Failures are reported, not fatal: the WAL
+		// already holds everything.
+		stopWatches()
+		watchWG.Wait()
+		for _, err := range svc.CheckpointAll() {
+			fmt.Fprintln(stderr, "ajdlossd: shutdown checkpoint:", err)
+		}
+	}
 	return nil
 }
 
@@ -186,25 +272,41 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 // of the CSV file into the live dataset. It tracks the byte offset of
 // ingested complete lines and reads only the tail, cut at the last newline —
 // so each batch costs O(new bytes), not O(file), and a torn (partially
-// flushed) final line is never parsed: even when a truncated record happens
-// to have the right arity it stays on disk until its newline arrives. If the
-// file shrinks, or the byte before the tail is no longer a newline (a
-// mid-line start snapshot, or an atomic replacement by equal-or-larger
-// content — best-effort: a replacement that coincidentally keeps a newline
-// there goes unnoticed until the next size change), ingestion restarts from
-// the top; appends are idempotent, so re-reads only cost duplicate
-// detection.
+// flushed) final line is not parsed while the file is still growing: even
+// when a truncated record happens to have the right arity it stays on disk
+// until its newline arrives — unless the file stops changing for tailPolls
+// consecutive polls, at which point the stable unterminated final line is
+// ingested (a writer that never terminates its last row must not starve it
+// forever). If the file shrinks, or the bytes immediately before the tail no
+// longer match the sentinel — the last ≤64 ingested bytes, remembered and
+// verified on every poll, so an atomic replacement by equal-or-larger
+// content is caught even when the byte at the boundary happens to be a
+// newline — ingestion restarts from the top; appends are idempotent, so
+// re-reads only cost duplicate detection. A watcher whose dataset is
+// DELETEd stops outright (one line to stderr) instead of erroring on every
+// poll forever.
 //
 // A chunk that fails to parse is retried for a few ticks (a quoted field
 // containing a newline can make the cut point land mid-record, which heals
 // once the rest of the record is flushed) and then skipped: a permanently
 // malformed line must not wedge the watcher forever while valid rows pile up
 // behind it.
-func watchLoop(ctx context.Context, svc *service.Service, name, path string, offset int64, every time.Duration, stderr io.Writer) {
+func watchLoop(ctx context.Context, svc *service.Service, name, path string, offset int64, sentinel []byte, every time.Duration, tailPolls int, stderr io.Writer) {
 	// parse retries remaining for the chunk at the current offset before it
 	// is skipped as permanently malformed.
 	const parseRetries = 3
 	retries := parseRetries
+	// sentinel is the last ≤64 bytes ending at offset, re-verified against
+	// the file on every poll; the caller captured it when it snapshotted the
+	// start offset. Without one, start from the top.
+	if offset > 0 && len(sentinel) == 0 {
+		offset = 0
+	}
+	// lastSize/stable track how many consecutive polls the file has been
+	// unchanged, which is what lets a stable unterminated final line be
+	// ingested after tailPolls polls.
+	lastSize := int64(-1)
+	stable := 0
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	for {
@@ -213,14 +315,28 @@ func watchLoop(ctx context.Context, svc *service.Service, name, path string, off
 			return
 		case <-ticker.C:
 		}
+		// A removed dataset cannot absorb appends again (re-registration
+		// builds a new dataset that -watch knows nothing about): stop rather
+		// than spam stderr on every poll forever.
+		if _, ok := svc.Registry().Get(name); !ok {
+			fmt.Fprintf(stderr, "watch %q: dataset %q was removed; watcher stopped\n", path, name)
+			return
+		}
 		fi, err := os.Stat(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "watch %q: %v\n", path, err)
 			continue
 		}
+		if fi.Size() == lastSize {
+			stable++
+		} else {
+			stable = 0
+			lastSize = fi.Size()
+		}
 		if fi.Size() < offset {
 			fmt.Fprintf(stderr, "watch %q: file shrank, re-reading from the top\n", path)
 			offset = 0
+			sentinel = nil
 		}
 		if fi.Size() == offset {
 			continue
@@ -230,18 +346,22 @@ func watchLoop(ctx context.Context, svc *service.Service, name, path string, off
 			fmt.Fprintf(stderr, "watch %q: %v\n", path, err)
 			continue
 		}
-		// Sentinel: the byte just before the tail must still be a newline.
-		// It is not one when the start snapshot landed mid-line (producer
-		// was writing during startup) or when the file was atomically
-		// replaced by equal-or-larger content — tailing from a stale offset
-		// would then ingest partial-line fragments as phantom rows. Reset
-		// and re-read from the top instead; appends are idempotent, so the
-		// re-read only costs duplicate detection.
+		// Sentinel: the bytes just before the tail must still be the bytes
+		// that were ingested there. They are not when the start snapshot
+		// landed mid-line (producer was writing during startup) or when the
+		// file was atomically replaced by different equal-or-larger content —
+		// tailing from a stale offset would then ingest partial-line
+		// fragments or another file's rows as phantom rows. Comparing content
+		// (not just a newline at the boundary) catches replacements whose
+		// byte there coincidentally is a newline. Reset and re-read from the
+		// top instead; appends are idempotent, so the re-read only costs
+		// duplicate detection.
 		if offset > 0 {
-			var nl [1]byte
-			if _, err := f.ReadAt(nl[:], offset-1); err != nil || nl[0] != '\n' {
+			check := make([]byte, len(sentinel))
+			if _, err := f.ReadAt(check, offset-int64(len(sentinel))); err != nil || !bytes.Equal(check, sentinel) {
 				fmt.Fprintf(stderr, "watch %q: content changed under the tail, re-reading from the top\n", path)
 				offset = 0
+				sentinel = nil
 			}
 		}
 		buf := make([]byte, fi.Size()-offset)
@@ -251,11 +371,18 @@ func watchLoop(ctx context.Context, svc *service.Service, name, path string, off
 			fmt.Fprintf(stderr, "watch %q: %v\n", path, err)
 			continue
 		}
-		cut := bytes.LastIndexByte(buf, '\n')
-		if cut < 0 {
-			continue // no complete line yet
+		if cut := bytes.LastIndexByte(buf, '\n'); cut+1 < len(buf) {
+			// Unterminated final line. While the file keeps changing the
+			// writer is mid-flush: wait for the newline. Once the file has
+			// been unchanged for tailPolls polls the line is as complete as
+			// it will ever get — ingest it instead of waiting forever.
+			if stable < tailPolls {
+				if cut < 0 {
+					continue // no complete line yet
+				}
+				buf = buf[:cut+1]
+			}
 		}
-		buf = buf[:cut+1]
 		// Parse up to the first malformed record: the clean prefix is
 		// ingested immediately (valid rows must not be hostage to a bad
 		// line behind them), and only then is the failure handled.
@@ -283,6 +410,11 @@ func watchLoop(ctx context.Context, svc *service.Service, name, path string, off
 			// are bare data lines.
 			v, err := svc.Append(name, records, offset == 0)
 			if err != nil {
+				if errors.Is(err, service.ErrUnknownDataset) {
+					// Removed between the top-of-tick check and the append.
+					fmt.Fprintf(stderr, "watch %q: dataset %q was removed; watcher stopped\n", path, name)
+					return
+				}
 				// Deterministic for these bytes (header mismatch, bad
 				// encoding): skip the consumed prefix so the watcher is
 				// never wedged. The chunk at offset 0 includes the header
@@ -293,6 +425,7 @@ func watchLoop(ctx context.Context, svc *service.Service, name, path string, off
 				}
 				svc.AddSkippedLines(name, int64(lost))
 				fmt.Fprintf(stderr, "watch %q: skipping %d bytes (rows lost): %v\n", path, consumed, err)
+				sentinel = advanceSentinel(sentinel, buf[:consumed])
 				offset += consumed
 				retries = parseRetries
 				continue
@@ -303,6 +436,7 @@ func watchLoop(ctx context.Context, svc *service.Service, name, path string, off
 			}
 		}
 		if consumed > 0 {
+			sentinel = advanceSentinel(sentinel, buf[:consumed])
 			offset += consumed
 			retries = parseRetries // progress: the next bad line gets a fresh budget
 		}
@@ -319,11 +453,35 @@ func watchLoop(ctx context.Context, svc *service.Service, name, path string, off
 			continue
 		}
 		skip := int64(bytes.IndexByte(buf[consumed:], '\n') + 1)
+		if skip == 0 {
+			// No newline behind the bad record: a stable-but-malformed
+			// unterminated tail. Skip all of it, or the watcher would retry
+			// the same bytes forever.
+			skip = int64(len(buf)) - consumed
+		}
 		svc.AddSkippedLines(name, 1)
 		fmt.Fprintf(stderr, "watch %q: skipping %d unparseable bytes (a row lost): %v\n", path, skip, parseErr)
+		sentinel = advanceSentinel(sentinel, buf[consumed:consumed+skip])
 		offset += skip
 		retries = parseRetries
 	}
+}
+
+// sentinelLen is how many trailing ingested bytes the watcher remembers and
+// re-verifies each poll to detect file replacement under the tail.
+const sentinelLen = 64
+
+// advanceSentinel returns the last ≤sentinelLen bytes of prev++chunk: the
+// new sentinel after the watcher consumed chunk.
+func advanceSentinel(prev, chunk []byte) []byte {
+	if len(chunk) >= sentinelLen {
+		return append([]byte(nil), chunk[len(chunk)-sentinelLen:]...)
+	}
+	combined := append(append([]byte(nil), prev...), chunk...)
+	if len(combined) > sentinelLen {
+		combined = combined[len(combined)-sentinelLen:]
+	}
+	return combined
 }
 
 // parseCSVPrefix reads CSV records from buf until the first parse error,

@@ -152,8 +152,12 @@ func TestDaemonWatch(t *testing.T) {
 	if err := os.WriteFile(csvPath, []byte("A,B\n1,1\n2,2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// -watch-tail-polls is huge so the stable-tail path never fires: this
+	// test pins the complete-lines-only behavior for a file that is still
+	// being written (TestDaemonWatchStableTail covers the other side).
 	base, shutdown := bootDaemon(t, []string{
-		"-addr", "127.0.0.1:0", "-watch", "w=" + csvPath, "-watch-interval", "25ms"})
+		"-addr", "127.0.0.1:0", "-watch", "w=" + csvPath, "-watch-interval", "25ms",
+		"-watch-tail-polls", "100000"})
 
 	datasets := getJSON(t, base+"/datasets")["datasets"].([]any)
 	info := datasets[0].(map[string]any)

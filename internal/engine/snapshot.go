@@ -100,6 +100,18 @@ func NewSnapshot(attrs []string, rows []Tuple) *Snapshot {
 	return newSnapshot(attrs, rows, nil, len(rows))
 }
 
+// NewSnapshotAt is NewSnapshot starting at an explicit generation (≥ 1):
+// the durability layer uses it so a relation recovered from a checkpoint
+// reports the exact generation it had when the checkpoint was taken, and
+// replayed appends continue the chain from there.
+func NewSnapshotAt(attrs []string, rows []Tuple, gen int64) *Snapshot {
+	s := newSnapshot(attrs, rows, nil, len(rows))
+	if gen > 1 {
+		s.gen = gen
+	}
+	return s
+}
+
 // NewWeightedSnapshot builds a generation-1 snapshot of distinct rows with
 // per-row multiplicities summing to total (a multiset's empirical
 // distribution). Weighted snapshots cannot be extended: mutating a multiset

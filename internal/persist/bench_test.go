@@ -1,0 +1,118 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchRows builds n string records of the given arity.
+func benchRows(n, arity int) [][]string {
+	rows := make([][]string, n)
+	for i := range rows {
+		rec := make([]string, arity)
+		for c := range rec {
+			rec[c] = fmt.Sprintf("%d", (i*7+c*13)%97)
+		}
+		rows[i] = rec
+	}
+	return rows
+}
+
+// BenchmarkWALAppend measures the write-ahead cost an append batch pays
+// before it is applied: encode + CRC + one write syscall (no fsync, the
+// default posture).
+func BenchmarkWALAppend(b *testing.B) {
+	for _, batch := range []int{1, 100} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			store, err := Open(b.TempDir(), Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds, err := store.Dataset("d")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ds.Close()
+			rows := benchRows(batch, 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ds.AppendWAL(int64(i+2), rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchCheckpoint builds an n-row, arity-5 checkpoint.
+func benchCheckpoint(n int) *Checkpoint {
+	attrs := []string{"A", "B", "C", "D", "E"}
+	dicts := make([][]string, len(attrs))
+	for i := range dicts {
+		dict := make([]string, 97)
+		for j := range dict {
+			dict[j] = fmt.Sprintf("%d", j)
+		}
+		dicts[i] = dict
+	}
+	cols := make([][]int32, len(attrs))
+	for c := range cols {
+		col := make([]int32, n)
+		for i := range col {
+			col[i] = int32((i*7+c*13)%97 + 1)
+		}
+		cols[c] = col
+	}
+	return &Checkpoint{Name: "d", Attrs: attrs, Generation: 1, Dicts: dicts, Columns: cols}
+}
+
+// BenchmarkCheckpointWrite measures serializing + fsync + rename of a 20k-row
+// columnar checkpoint — the cost of a manual POST /checkpoint or one
+// background compaction (runs off the hot path either way).
+func BenchmarkCheckpointWrite(b *testing.B) {
+	store, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := store.Dataset("d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+	ck := benchCheckpoint(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ds.WriteCheckpoint(ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALLoad measures raw recovery decode: a 20k-row checkpoint plus a
+// 50-record WAL tail read back from disk.
+func BenchmarkWALLoad(b *testing.B) {
+	store, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := store.Dataset("d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+	if err := ds.WriteCheckpoint(benchCheckpoint(20000)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := ds.AppendWAL(int64(i+2), benchRows(20, 5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ck, recs, err := ds.Load()
+		if err != nil || ck == nil || len(recs) != 50 {
+			b.Fatalf("load: ck=%v recs=%d err=%v", ck != nil, len(recs), err)
+		}
+	}
+}

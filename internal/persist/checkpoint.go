@@ -1,0 +1,212 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+const (
+	checkpointFile    = "checkpoint.ckpt"
+	checkpointTmpFile = "checkpoint.tmp"
+	checkpointMagic   = "AJDCKPT1"
+)
+
+// Checkpoint is the binary columnar serialization of one frozen dataset
+// state: the schema, the per-attribute dictionaries (value v decodes to
+// Dicts[i][v-1], exactly the Encoder's reverse tables), the distinct rows in
+// stored order as one slice per column, and the snapshot generation. Row
+// order is part of the contract: group IDs — and with them every memoized
+// partition and the byte-exact JSON the service emits — are deterministic in
+// stored row order, which is how recovery reproduces pre-crash responses
+// bit for bit.
+type Checkpoint struct {
+	Name       string
+	Attrs      []string
+	Generation int64
+	Dicts      [][]string // per attribute: dictionary strings, value order
+	Columns    [][]int32  // per attribute: Columns[c][row], all len NumRows
+}
+
+// NumRows returns the number of rows in the checkpoint.
+func (c *Checkpoint) NumRows() int {
+	if len(c.Columns) == 0 {
+		return 0
+	}
+	return len(c.Columns[0])
+}
+
+// WriteCheckpoint atomically publishes ck as the dataset's latest checkpoint
+// (tmp file, fsync, rename) and then compacts the WAL, dropping records the
+// checkpoint already covers. Readers are never involved: ck is serialized
+// from an immutable frozen view.
+func (d *DatasetStore) WriteCheckpoint(ck *Checkpoint) error {
+	// Serialize whole checkpoint writes: concurrent writers (manual +
+	// background compaction) would interleave in the shared tmp file and
+	// publish garbage.
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	tmpPath := filepath.Join(d.dir, checkpointTmpFile)
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating checkpoint: %w", err)
+	}
+	data := encodeCheckpoint(ck)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(d.dir, checkpointFile)); err != nil {
+		return fmt.Errorf("persist: publishing checkpoint: %w", err)
+	}
+	d.lastCkpt.Store(ck.Generation)
+	return d.compactWAL(ck.Generation)
+}
+
+// encodeCheckpoint renders the binary columnar format: magic, then
+// uvarint-framed name/generation/schema/dictionaries, then per-column
+// uvarint value streams, and a trailing CRC32 of everything before it.
+func encodeCheckpoint(ck *Checkpoint) []byte {
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, checkpointMagic...)
+	buf = appendString(buf, ck.Name)
+	buf = binary.AppendUvarint(buf, uint64(ck.Generation))
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Attrs)))
+	for _, a := range ck.Attrs {
+		buf = appendString(buf, a)
+	}
+	for _, dict := range ck.Dicts {
+		buf = binary.AppendUvarint(buf, uint64(len(dict)))
+		for _, s := range dict {
+			buf = appendString(buf, s)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(ck.NumRows()))
+	for _, col := range ck.Columns {
+		for _, v := range col {
+			buf = binary.AppendUvarint(buf, uint64(uint32(v)))
+		}
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	return append(buf, crc[:]...)
+}
+
+// readCheckpointFile loads and verifies a checkpoint. A missing file returns
+// (nil, nil): the dataset has no checkpoint (an interrupted registration). A
+// present but corrupt file is an error — unlike a torn WAL tail there is no
+// smaller consistent state to fall back to.
+func readCheckpointFile(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading checkpoint: %w", err)
+	}
+	return decodeCheckpoint(data)
+}
+
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(checkpointMagic)+4 || string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("persist: not a checkpoint file")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("persist: checkpoint CRC mismatch")
+	}
+	p := body[len(checkpointMagic):]
+	ck := &Checkpoint{}
+	var err error
+	if ck.Name, p, err = readString(p); err != nil {
+		return nil, err
+	}
+	gen, p, err := uvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	ck.Generation = int64(gen)
+	nattrs, p, err := uvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if nattrs > uint64(len(p)) {
+		return nil, fmt.Errorf("persist: checkpoint attr count %d exceeds payload", nattrs)
+	}
+	ck.Attrs = make([]string, nattrs)
+	for i := range ck.Attrs {
+		if ck.Attrs[i], p, err = readString(p); err != nil {
+			return nil, err
+		}
+	}
+	ck.Dicts = make([][]string, nattrs)
+	for i := range ck.Dicts {
+		var n uint64
+		if n, p, err = uvarint(p); err != nil {
+			return nil, err
+		}
+		if n > uint64(len(p))+1 {
+			return nil, fmt.Errorf("persist: checkpoint dictionary size %d exceeds payload", n)
+		}
+		dict := make([]string, n)
+		for j := range dict {
+			if dict[j], p, err = readString(p); err != nil {
+				return nil, err
+			}
+		}
+		ck.Dicts[i] = dict
+	}
+	nrows, p, err := uvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if nattrs > 0 && nrows > uint64(len(p)) {
+		return nil, fmt.Errorf("persist: checkpoint row count %d exceeds payload", nrows)
+	}
+	ck.Columns = make([][]int32, nattrs)
+	for c := range ck.Columns {
+		col := make([]int32, nrows)
+		for i := range col {
+			var v uint64
+			if v, p, err = uvarint(p); err != nil {
+				return nil, err
+			}
+			if v > 1<<32-1 {
+				return nil, fmt.Errorf("persist: checkpoint value %d out of range", v)
+			}
+			col[i] = int32(uint32(v))
+		}
+		ck.Columns[c] = col
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes in checkpoint", len(p))
+	}
+	return ck, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(p []byte) (string, []byte, error) {
+	n, p, err := uvarint(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(p)) {
+		return "", nil, fmt.Errorf("persist: string length %d exceeds payload", n)
+	}
+	return string(p[:n]), p[n:], nil
+}

@@ -1,0 +1,178 @@
+// Package persist is the durability layer under the analysis service: a
+// per-dataset append-only write-ahead log of row batches plus binary
+// columnar checkpoints of frozen snapshots, so a long-running daemon can be
+// killed at any instant and recover every dataset to its exact pre-kill
+// rows and generation instead of paying a cold full re-ingest.
+//
+// Layout under the store's root directory (one subdirectory per dataset,
+// name-encoded so arbitrary dataset names cannot escape or collide):
+//
+//	<root>/<dataset>/checkpoint.ckpt   latest checkpoint (atomic tmp+rename)
+//	<root>/<dataset>/wal.log           row batches appended since then
+//
+// The write path mirrors the engine's copy-on-write read path: a WAL record
+// is appended (one write syscall, CRC-checked) *before* the in-memory append
+// is applied and its new view published, and a checkpoint is serialized from
+// an already-frozen snapshot, so checkpointing never blocks readers.
+// Recovery loads the latest checkpoint, replays the WAL tail, and tolerates
+// a torn final record by truncating it — the WAL frame format (length
+// prefix + CRC32 + payload) makes "torn" detectable at any byte boundary.
+//
+// By default the WAL is not fsynced: a single buffered write survives
+// process death (SIGKILL) because the page cache belongs to the kernel, and
+// that is the failure mode a long-running analysis daemon actually sees.
+// Options.Sync upgrades every append to an fsync for power-failure
+// durability at the usual latency cost. Checkpoints are always synced
+// before the rename that publishes them.
+package persist
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DefaultCompactAt is the WAL size at which the service triggers a
+// background checkpoint + compaction when Options.CompactAt is zero.
+const DefaultCompactAt = 1 << 20
+
+// Options configure a Store.
+type Options struct {
+	// Sync fsyncs the WAL after every appended record. Off by default: the
+	// default posture is process-crash durability (the write syscall has
+	// completed before an append is acknowledged), not power-failure
+	// durability.
+	Sync bool
+	// CompactAt is the WAL byte size beyond which the service folds the WAL
+	// into a fresh checkpoint in the background. Zero means DefaultCompactAt;
+	// negative disables size-triggered compaction.
+	CompactAt int64
+}
+
+// Store manages the durability directory: one DatasetStore per dataset.
+type Store struct {
+	dir  string
+	sync bool
+
+	compactAt int64
+}
+
+// Open creates (if needed) and opens a durability store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("persist: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating store directory: %w", err)
+	}
+	compactAt := opts.CompactAt
+	if compactAt == 0 {
+		compactAt = DefaultCompactAt
+	}
+	return &Store{dir: dir, sync: opts.Sync, compactAt: compactAt}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// CompactAt returns the WAL size that should trigger background compaction,
+// or a non-positive value when size-triggered compaction is disabled.
+func (s *Store) CompactAt() int64 { return s.compactAt }
+
+// List returns the names of every dataset with a directory in the store,
+// sorted. Directories whose names do not decode (stray files, manual edits)
+// are skipped.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: listing store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if name, ok := decodeName(e.Name()); ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Dataset opens (creating if needed) the per-dataset store for name.
+func (s *Store) Dataset(name string) (*DatasetStore, error) {
+	if name == "" {
+		return nil, fmt.Errorf("persist: empty dataset name")
+	}
+	dir := filepath.Join(s.dir, encodeName(name))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating dataset directory: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening WAL: %w", err)
+	}
+	d := &DatasetStore{dir: dir, name: name, sync: s.sync, wal: wal}
+	if fi, err := wal.Stat(); err == nil {
+		d.walBytes.Store(fi.Size())
+	}
+	return d, nil
+}
+
+// Remove deletes the dataset's directory (checkpoint and WAL). Callers must
+// Close the DatasetStore first.
+func (s *Store) Remove(name string) error {
+	return os.RemoveAll(filepath.Join(s.dir, encodeName(name)))
+}
+
+// encodeName maps a dataset name to a filesystem-safe directory name.
+// Names that are already safe are used verbatim for debuggability; anything
+// else (separators, uppercase — two names differing only in case must not
+// share a directory on case-insensitive filesystems — dots-only names, the
+// reserved "x-" prefix) is hex-encoded behind "x-" so two distinct names
+// can never collide.
+func encodeName(name string) string {
+	if safeName(name) {
+		return name
+	}
+	return "x-" + hex.EncodeToString([]byte(name))
+}
+
+// decodeName inverts encodeName; ok is false for directory names that no
+// dataset name encodes to.
+func decodeName(dir string) (string, bool) {
+	if strings.HasPrefix(dir, "x-") {
+		b, err := hex.DecodeString(dir[2:])
+		if err != nil || len(b) == 0 {
+			return "", false
+		}
+		return string(b), true
+	}
+	if safeName(dir) {
+		return dir, true
+	}
+	return "", false
+}
+
+// safeName reports whether a dataset name can be its own directory name.
+// Uppercase is excluded: hex encoding is lowercase, so on a
+// case-insensitive filesystem a verbatim name with capitals could collide
+// with another name's directory.
+func safeName(s string) bool {
+	if s == "" || len(s) > 100 || s == "." || s == ".." || strings.HasPrefix(s, "x-") {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+		case r == '.' || r == '_' || r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

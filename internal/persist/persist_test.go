@@ -1,0 +1,334 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Name:       "flights",
+		Attrs:      []string{"A", "B", "C"},
+		Generation: 7,
+		Dicts: [][]string{
+			{"x", "y", "with,comma", ""},
+			{"1", "2"},
+			{"only"},
+		},
+		Columns: [][]int32{
+			{1, 2, 3, 4},
+			{1, 1, 2, 2},
+			{1, 1, 1, 1},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	store, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Dataset("flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	want := testCheckpoint()
+	if err := ds.WriteCheckpoint(want); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.LastCheckpoint(); got != 7 {
+		t.Fatalf("LastCheckpoint = %d, want 7", got)
+	}
+	got, recs, err := ds.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL has %d records", len(recs))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("checkpoint round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCheckpointEmptyRows(t *testing.T) {
+	ck := &Checkpoint{Name: "e", Attrs: []string{"A"}, Generation: 1,
+		Dicts: [][]string{{}}, Columns: [][]int32{{}}}
+	got, err := decodeCheckpoint(encodeCheckpoint(ck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 || got.Generation != 1 || len(got.Attrs) != 1 {
+		t.Fatalf("empty checkpoint round trip: %+v", got)
+	}
+}
+
+func TestCheckpointCorruption(t *testing.T) {
+	data := encodeCheckpoint(testCheckpoint())
+	for _, i := range []int{0, len(checkpointMagic) + 1, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if _, err := decodeCheckpoint(bad); err == nil {
+			t.Errorf("flipped byte %d accepted", i)
+		}
+	}
+	if _, err := decodeCheckpoint(data[:len(data)-3]); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+}
+
+func TestWALAppendLoad(t *testing.T) {
+	store, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Dataset("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if err := ds.WriteCheckpoint(&Checkpoint{Name: "d", Attrs: []string{"A"},
+		Generation: 1, Dicts: [][]string{{"a"}}, Columns: [][]int32{{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	batches := [][][]string{
+		{{"b"}, {"c"}},
+		{{"d"}},
+		{{"e,with comma"}, {""}, {"multi\nline"}},
+	}
+	for i, b := range batches {
+		if err := ds.AppendWAL(int64(i+2), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ds.WALBytes() == 0 {
+		t.Fatal("WALBytes did not grow")
+	}
+	// Reopen cold, as recovery would.
+	ds2, err := store.Dataset("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	ck, recs, err := ds2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || ck.Generation != 1 {
+		t.Fatalf("checkpoint = %+v", ck)
+	}
+	if len(recs) != len(batches) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(batches))
+	}
+	for i, rec := range recs {
+		if rec.Generation != int64(i+2) || !reflect.DeepEqual(rec.Records, batches[i]) {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+	}
+}
+
+// TestWALTornTail truncates the WAL at every byte boundary of the final
+// record and checks recovery always yields a clean prefix: all earlier
+// records intact, the torn one dropped, and the on-disk file truncated back
+// to the frame boundary so later appends extend a valid log.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Dataset("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AppendWAL(2, [][]string{{"1", "2"}, {"3", "4"}}); err != nil {
+		t.Fatal(err)
+	}
+	intact := ds.WALBytes()
+	if err := ds.AppendWAL(3, [][]string{{"5", "6"}}); err != nil {
+		t.Fatal(err)
+	}
+	ds.Close()
+	walPath := filepath.Join(dir, "d", walFile)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := intact; cut <= int64(len(full)); cut++ {
+		sub := filepath.Join(t.TempDir(), "s")
+		st, err := Open(sub, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := st.Dataset("d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		subWAL := filepath.Join(sub, "d", walFile)
+		if err := os.WriteFile(subWAL, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, recs, err := sd.Load()
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantRecs := 1
+		if cut == int64(len(full)) {
+			wantRecs = 2
+		}
+		if len(recs) != wantRecs {
+			t.Fatalf("cut %d: %d records, want %d", cut, len(recs), wantRecs)
+		}
+		if !reflect.DeepEqual(recs[0].Records, [][]string{{"1", "2"}, {"3", "4"}}) {
+			t.Fatalf("cut %d: first record damaged: %+v", cut, recs[0])
+		}
+		// The file was truncated back to the last intact frame.
+		fi, err := os.Stat(subWAL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSize := intact
+		if cut == int64(len(full)) {
+			wantSize = int64(len(full))
+		}
+		if fi.Size() != wantSize {
+			t.Fatalf("cut %d: WAL size %d after load, want %d", cut, fi.Size(), wantSize)
+		}
+		// Appending after a torn-tail recovery lands on a clean boundary.
+		if err := sd.AppendWAL(9, [][]string{{"7", "8"}}); err != nil {
+			t.Fatal(err)
+		}
+		sd.Close()
+		sd2, err := st.Dataset("d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, recs2, err := sd2.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs2) != wantRecs+1 || recs2[len(recs2)-1].Generation != 9 {
+			t.Fatalf("cut %d: append after torn recovery: %+v", cut, recs2)
+		}
+		sd2.Close()
+	}
+}
+
+// TestCompaction: a checkpoint folds covered WAL records away and keeps the
+// newer tail.
+func TestCompaction(t *testing.T) {
+	store, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Dataset("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if err := ds.AppendWAL(2, [][]string{{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AppendWAL(3, [][]string{{"b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AppendWAL(4, [][]string{{"c"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint at generation 3: records 2 and 3 are covered, 4 is not.
+	if err := ds.WriteCheckpoint(&Checkpoint{Name: "d", Attrs: []string{"A"},
+		Generation: 3, Dicts: [][]string{{"a", "b"}}, Columns: [][]int32{{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	ck, recs, err := ds.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Generation != 3 {
+		t.Fatalf("checkpoint generation = %d", ck.Generation)
+	}
+	if len(recs) != 1 || recs[0].Generation != 4 {
+		t.Fatalf("compacted WAL = %+v, want only generation 4", recs)
+	}
+	// Appends after compaction land in the swapped file.
+	if err := ds.AppendWAL(5, [][]string{{"d"}}); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = ds.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Generation != 5 {
+		t.Fatalf("post-compaction append lost: %+v", recs)
+	}
+}
+
+func TestLoadWithoutCheckpoint(t *testing.T) {
+	store, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Dataset("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ck, recs, err := ds.Load()
+	if err != nil || ck != nil || len(recs) != 0 {
+		t.Fatalf("empty dataset store: ck=%v recs=%v err=%v", ck, recs, err)
+	}
+}
+
+func TestStoreListAndRemove(t *testing.T) {
+	store, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"plain", "we/ird na:me", "x-prefixed", ".."} {
+		ds, err := store.Dataset(name)
+		if err != nil {
+			t.Fatalf("Dataset(%q): %v", name, err)
+		}
+		ds.Close()
+	}
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"..", "plain", "we/ird na:me", "x-prefixed"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("List = %v, want %v", names, want)
+	}
+	if err := store.Remove("we/ird na:me"); err != nil {
+		t.Fatal(err)
+	}
+	names, _ = store.List()
+	if len(names) != 3 {
+		t.Fatalf("after Remove: %v", names)
+	}
+}
+
+func TestNameEncoding(t *testing.T) {
+	for _, name := range []string{"a", "data-set_1.csv", "über", "a b", "x-abc", ".", "..", "a/b", "Foo", string([]byte{0})} {
+		enc := encodeName(name)
+		if enc != filepath.Base(enc) || enc == "." || enc == ".." {
+			t.Errorf("encodeName(%q) = %q is not a safe path element", name, enc)
+		}
+		dec, ok := decodeName(enc)
+		if !ok || dec != name {
+			t.Errorf("decodeName(encodeName(%q)) = %q, %v", name, dec, ok)
+		}
+	}
+	if _, ok := decodeName("x-zz"); ok {
+		t.Error("invalid hex decoded")
+	}
+	// Names differing only in case must not share a directory even on a
+	// case-insensitive filesystem.
+	if strings.EqualFold(encodeName("Foo"), encodeName("foo")) {
+		t.Errorf("case-colliding directories: %q vs %q", encodeName("Foo"), encodeName("foo"))
+	}
+}

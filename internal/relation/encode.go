@@ -68,6 +68,40 @@ func (e *Encoder) Decode(t Tuple) []string {
 // DomainSize returns the dictionary size of attribute index i.
 func (e *Encoder) DomainSize(i int) int { return len(e.rev[i]) }
 
+// Dictionaries returns a deep copy of the per-attribute dictionaries in
+// value order: value v of attribute i decodes to Dictionaries()[i][v-1].
+// The copy is what the durability layer serializes into checkpoints — it
+// must be taken under the same lock that serializes Encode calls, so the
+// dictionaries match one exact dataset state.
+func (e *Encoder) Dictionaries() [][]string {
+	out := make([][]string, len(e.rev))
+	for i, rev := range e.rev {
+		out[i] = append([]string(nil), rev...)
+	}
+	return out
+}
+
+// NewEncoderFromDictionaries rebuilds an Encoder from checkpointed
+// dictionaries: dicts[i][v-1] is the string for value v of attribute i.
+// Later Encode calls extend the dictionaries exactly as the original
+// encoder would have, so recovery reproduces the original value assignment.
+func NewEncoderFromDictionaries(attrs []string, dicts [][]string) (*Encoder, error) {
+	if len(dicts) != len(attrs) {
+		return nil, fmt.Errorf("relation: %d dictionaries for %d attributes", len(dicts), len(attrs))
+	}
+	e := NewEncoder(attrs)
+	for i, dict := range dicts {
+		for _, s := range dict {
+			if _, dup := e.dicts[i][s]; dup {
+				return nil, fmt.Errorf("relation: duplicate dictionary entry %q for attribute %q", s, attrs[i])
+			}
+			e.dicts[i][s] = Value(len(e.rev[i]) + 1)
+			e.rev[i] = append(e.rev[i], s)
+		}
+	}
+	return e, nil
+}
+
 // ValidateHeader checks a CSV header row: every attribute name must be
 // non-empty (whitespace-only counts as empty) and unique. It returns the
 // first violation, phrased for end-user display (the CLIs and the analysis

@@ -32,9 +32,26 @@ func (r *Relation) Snapshot() *engine.Snapshot {
 	r.engMu.Lock()
 	defer r.engMu.Unlock()
 	if r.snap == nil {
-		r.snap = engine.NewSnapshot(r.attrs, r.rows)
+		r.snap = engine.NewSnapshotAt(r.attrs, r.rows, r.baseGen)
 	}
 	return r.snap
+}
+
+// SetBaseGeneration marks r as the recovered state of the given generation:
+// the snapshot head built over its current rows reports gen instead of 1,
+// and later Appends continue the chain from there. It must be called before
+// the engine is first built (recovery calls it right after reloading the
+// checkpointed rows) and never on a frozen View.
+func (r *Relation) SetBaseGeneration(gen int64) {
+	if r.frozen {
+		panic("relation: SetBaseGeneration on a frozen View")
+	}
+	r.engMu.Lock()
+	defer r.engMu.Unlock()
+	if r.snap != nil {
+		panic("relation: SetBaseGeneration after the engine was built")
+	}
+	r.baseGen = gen
 }
 
 // SnapshotIfWarm returns the current snapshot only if the columnar engine has

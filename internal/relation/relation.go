@@ -41,6 +41,10 @@ type Relation struct {
 	// while readers of older snapshots (frozen Views) continue undisturbed.
 	engMu sync.Mutex
 	snap  *engine.Snapshot
+	// baseGen, when > 1, is the generation the (re)built snapshot head starts
+	// at — set by SetBaseGeneration when a relation is recovered from a
+	// durable checkpoint taken at that generation.
+	baseGen int64
 
 	// frozen marks an immutable View pinned to one snapshot: mutation is
 	// disallowed and Snapshot() returns snap with no locking.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"ajdloss/internal/persist"
 	"ajdloss/internal/randrel"
 	"ajdloss/internal/relation"
 )
@@ -101,4 +102,122 @@ func BenchmarkServeColdAnalyze(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// benchDurableService is benchService with durability enabled under dir.
+func benchDurableService(b *testing.B, dir string, n int, sync bool) *Service {
+	b.Helper()
+	store, err := persist.Open(dir, persist.Options{Sync: sync, CompactAt: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(0)
+	if _, err := s.EnableDurability(store); err != nil {
+		b.Fatal(err)
+	}
+	model := randrel.Model{
+		Attrs:   []string{"A", "B", "C", "D", "E", "F"},
+		Domains: []int{16, 16, 16, 16, 16, 16},
+		N:       n,
+	}
+	r, err := model.Sample(randrel.NewRand(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := relation.WriteCSV(&csv, r, nil); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Registry().Register("bench", bytes.NewReader(csv.Bytes()), true); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkAppendBatchDurable measures the WAL's overhead on the streaming
+// append hot path: the same 100-row batches against an in-memory dataset,
+// a durable one (write-ahead, no fsync — the default posture), and a
+// durable one with -fsync. The acceptance bar for the durability layer is
+// the wal variant staying within 2x of memory.
+func BenchmarkAppendBatchDurable(b *testing.B) {
+	const batch = 100
+	variants := []struct {
+		name string
+		mk   func(b *testing.B) *Service
+	}{
+		{"memory", func(b *testing.B) *Service { return benchService(b, 10000, 0) }},
+		{"wal", func(b *testing.B) *Service { return benchDurableService(b, b.TempDir(), 10000, false) }},
+		{"wal-fsync", func(b *testing.B) *Service { return benchDurableService(b, b.TempDir(), 10000, true) }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			s := v.mk(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				records := make([][]string, batch)
+				for j := range records {
+					rec := make([]string, 6)
+					for c := range rec {
+						rec[c] = fmt.Sprintf("%d", 100+(i*batch+j)*31%4096+c)
+					}
+					records[j] = rec
+				}
+				if _, err := s.Append("bench", records, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery compares bringing a 20k-row dataset back at boot from
+// the durable store (checkpoint + WAL tail + warm-up) against the only
+// pre-durability alternative: a cold full CSV re-ingest. Recovery skips
+// CSV parsing and row hashing entirely — it reloads decoded columns.
+func BenchmarkRecovery(b *testing.B) {
+	const n = 20000
+	dir := b.TempDir()
+	s0 := benchDurableService(b, dir, n, false)
+	for i := 0; i < 20; i++ {
+		records := make([][]string, 50)
+		for j := range records {
+			rec := make([]string, 6)
+			for c := range rec {
+				rec[c] = fmt.Sprintf("%d", 200+(i*50+j)*17%4096+c)
+			}
+			records[j] = rec
+		}
+		if _, err := s0.Append("bench", records, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var csv bytes.Buffer
+	d, _ := s0.Registry().Get("bench")
+	if err := relation.WriteCSV(&csv, d.View(), d.Enc); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("recover", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			store, err := persist.Open(dir, persist.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := New(0)
+			recovered, err := s.EnableDurability(store)
+			if err != nil || len(recovered) != 1 {
+				b.Fatalf("recovered %v (err %v)", recovered, err)
+			}
+			for _, rd := range s.Registry().All() {
+				rd.store.Close()
+			}
+		}
+	})
+	b.Run("cold-reingest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := New(0)
+			if _, err := s.Registry().Register("bench", bytes.NewReader(csv.Bytes()), true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,276 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"ajdloss/internal/infotheory"
+	"ajdloss/internal/persist"
+	"ajdloss/internal/relation"
+)
+
+// ErrStore marks durable-storage failures (WAL write, checkpoint write):
+// the request was fine, the server's disk was not. The HTTP layer maps it
+// to 500 via errors.Is so monitoring sees an outage, not client error
+// noise.
+var ErrStore = errors.New("durable store failure")
+
+// This file wires the durability layer (internal/persist) into the service:
+// converting between frozen views and checkpoints, recovering datasets at
+// boot (checkpoint + WAL-tail replay), and the checkpoint request path with
+// its size-triggered background compaction.
+
+// checkpointOf serializes a frozen view plus the encoder dictionaries that
+// match its generation into a persist.Checkpoint. The view is immutable, so
+// this runs without locks; the caller must have captured view and dicts
+// together under the dataset's append lock (appends extend both).
+func checkpointOf(name string, view *relation.Relation, dicts [][]string) *persist.Checkpoint {
+	attrs := view.Attrs()
+	rows := view.Rows()
+	cols := make([][]int32, len(attrs))
+	for c := range cols {
+		col := make([]int32, len(rows))
+		for i, t := range rows {
+			col[i] = t[c]
+		}
+		cols[c] = col
+	}
+	return &persist.Checkpoint{
+		Name:       name,
+		Attrs:      attrs,
+		Generation: view.Generation(),
+		Dicts:      dicts,
+		Columns:    cols,
+	}
+}
+
+// datasetFromCheckpoint rebuilds the live relation and encoder from a
+// checkpoint: rows in stored order (group IDs — and therefore every derived
+// measure and its JSON — depend on row order, so recovery preserves it
+// exactly) with the snapshot chain starting at the checkpointed generation.
+func datasetFromCheckpoint(ck *persist.Checkpoint) (*relation.Relation, *relation.Encoder, error) {
+	if len(ck.Attrs) == 0 {
+		return nil, nil, fmt.Errorf("service: checkpoint for %q has no attributes", ck.Name)
+	}
+	n := ck.NumRows()
+	for c, col := range ck.Columns {
+		if len(col) != n {
+			return nil, nil, fmt.Errorf("service: checkpoint for %q: column %d has %d rows, want %d", ck.Name, c, len(col), n)
+		}
+	}
+	rows := make([]relation.Tuple, n)
+	for i := range rows {
+		t := make(relation.Tuple, len(ck.Columns))
+		for c := range ck.Columns {
+			t[c] = ck.Columns[c][i]
+		}
+		rows[i] = t
+	}
+	rel := relation.FromRows(ck.Attrs, rows)
+	if rel.N() != n {
+		return nil, nil, fmt.Errorf("service: checkpoint for %q has %d duplicate rows", ck.Name, n-rel.N())
+	}
+	rel.SetBaseGeneration(ck.Generation)
+	// Materialize the engine at the checkpointed generation NOW: WAL replay
+	// goes through Append, which only extends (and generation-bumps) an
+	// already-built snapshot chain — built lazily later, the replayed batches
+	// would collapse into one generation-1 snapshot.
+	rel.Snapshot()
+	enc, err := relation.NewEncoderFromDictionaries(ck.Attrs, ck.Dicts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: checkpoint for %q: %w", ck.Name, err)
+	}
+	return rel, enc, nil
+}
+
+// replayWAL applies the WAL tail to a relation recovered from a checkpoint
+// at generation ckptGen. Records the checkpoint already covers are skipped
+// by generation; replay of anything else is idempotent (duplicate rows add
+// nothing and bump nothing), so over-replay can never corrupt state — the
+// final generation is exactly ckptGen plus the number of batches that
+// actually added rows, as it was before the crash. Returns the rows applied
+// and the records dropped as unusable (wrong arity or unencodable — only
+// possible if the log belongs to a different schema era than the
+// checkpoint).
+func replayWAL(rel *relation.Relation, enc *relation.Encoder, recs []persist.WALRecord, ckptGen int64) (applied int, dropped int, err error) {
+	arity := len(rel.Attrs())
+	for _, rec := range recs {
+		if rec.Generation <= ckptGen {
+			continue
+		}
+		tuples := make([]relation.Tuple, 0, len(rec.Records))
+		ok := true
+		for _, r := range rec.Records {
+			if len(r) != arity {
+				ok = false
+				break
+			}
+			t, err := enc.Encode(r)
+			if err != nil {
+				ok = false
+				break
+			}
+			tuples = append(tuples, t)
+		}
+		if !ok {
+			dropped++
+			continue
+		}
+		added, err := rel.Append(tuples)
+		if err != nil {
+			return applied, dropped, err
+		}
+		applied += added
+	}
+	return applied, dropped, nil
+}
+
+// RecoveredDataset describes one dataset restored by EnableDurability.
+type RecoveredDataset struct {
+	Info
+	CheckpointGeneration int64 // generation of the checkpoint it started from
+	ReplayedRows         int   // rows re-applied from the WAL tail
+	DroppedRecords       int   // WAL records unusable against the checkpoint
+}
+
+// EnableDurability attaches a durability store to the service and recovers
+// every dataset in it: latest checkpoint, then WAL-tail replay (a torn
+// final record was already truncated by the store), then the same warm-up
+// registration performs — each dataset comes back at its exact pre-crash
+// rows and generation with a hot engine. It must be called before the
+// service starts serving (the daemon recovers at boot); after it returns,
+// registrations, appends and removals of every dataset are durable.
+func (s *Service) EnableDurability(store *persist.Store) ([]RecoveredDataset, error) {
+	names, err := store.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []RecoveredDataset
+	for _, name := range names {
+		ds, err := store.Dataset(name)
+		if err != nil {
+			return out, fmt.Errorf("service: opening store for %q: %w", name, err)
+		}
+		ck, recs, err := ds.Load()
+		if err != nil {
+			ds.Close()
+			return out, fmt.Errorf("service: loading %q: %w", name, err)
+		}
+		if ck == nil {
+			// A directory without a checkpoint is an interrupted registration:
+			// the dataset was never acknowledged, so there is nothing to
+			// recover. Drop the remains.
+			ds.Close()
+			_ = store.Remove(name)
+			continue
+		}
+		rel, enc, err := datasetFromCheckpoint(ck)
+		if err != nil {
+			ds.Close()
+			return out, err
+		}
+		applied, droppedRecs, err := replayWAL(rel, enc, recs, ck.Generation)
+		if err != nil {
+			ds.Close()
+			return out, fmt.Errorf("service: replaying WAL for %q: %w", name, err)
+		}
+		// Same warm-up as Register: singleton entropies build the column
+		// mirror and seed the memo before the dataset is reachable.
+		for _, a := range rel.Attrs() {
+			if _, err := infotheory.Entropy(rel, a); err != nil {
+				ds.Close()
+				return out, fmt.Errorf("service: warming recovered %q: %w", name, err)
+			}
+		}
+		d, err := s.reg.adopt(name, rel, enc, ds)
+		if err != nil {
+			ds.Close()
+			return out, err
+		}
+		out = append(out, RecoveredDataset{
+			Info:                 d.Info(),
+			CheckpointGeneration: ck.Generation,
+			ReplayedRows:         applied,
+			DroppedRecords:       droppedRecs,
+		})
+	}
+	s.reg.store = store
+	s.compactAt = store.CompactAt()
+	return out, nil
+}
+
+// Checkpoint folds the named dataset's current state into a fresh durable
+// checkpoint and compacts its WAL. The view and its matching dictionaries
+// are captured under the append lock (a few pointer loads and a dictionary
+// copy); serialization and the atomic file swap run outside it, against the
+// immutable frozen view — readers are never blocked and writers only for
+// the capture.
+func (s *Service) Checkpoint(name string) (*CheckpointView, error) {
+	d, ok := s.reg.Get(name)
+	if !ok {
+		return nil, s.reject(fmt.Errorf("service: %w %q", ErrUnknownDataset, name))
+	}
+	if d.store == nil {
+		return nil, s.reject(fmt.Errorf("service: dataset %q is not durable (start the daemon with -data)", name))
+	}
+	v, err := s.checkpointDataset(d)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	return v, nil
+}
+
+// checkpointDataset writes one checkpoint for d (shared by the HTTP
+// endpoint, size-triggered compaction and shutdown).
+func (s *Service) checkpointDataset(d *Dataset) (*CheckpointView, error) {
+	d.appendMu.Lock()
+	view := d.View()
+	dicts := d.Enc.Dictionaries()
+	d.appendMu.Unlock()
+	if err := d.store.WriteCheckpoint(checkpointOf(d.Name, view, dicts)); err != nil {
+		return nil, fmt.Errorf("service: checkpointing %q: %w: %w", d.Name, ErrStore, err)
+	}
+	d.checkpoints.Add(1)
+	return &CheckpointView{
+		Dataset:    d.Name,
+		Rows:       view.N(),
+		Generation: view.Generation(),
+		WALBytes:   d.store.WALBytes(),
+	}, nil
+}
+
+// maybeCompact triggers one background checkpoint when the dataset's WAL
+// has outgrown the store's compaction threshold. At most one compaction per
+// dataset is in flight; a failure is counted (checkpoint_errors in /stats)
+// and retried by whichever later append crosses the threshold again.
+func (s *Service) maybeCompact(d *Dataset) {
+	if d.store == nil || s.compactAt <= 0 || d.store.WALBytes() < s.compactAt {
+		return
+	}
+	if !d.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer d.compacting.Store(false)
+		if _, err := s.checkpointDataset(d); err != nil {
+			s.checkpointErrors.Add(1)
+		}
+	}()
+}
+
+// CheckpointAll checkpoints every durable dataset (the daemon calls it on
+// graceful shutdown so the next boot replays an empty WAL). Errors are
+// collected per dataset, not fatal.
+func (s *Service) CheckpointAll() []error {
+	var errs []error
+	for _, d := range s.reg.All() {
+		if d.store == nil {
+			continue
+		}
+		if _, err := s.checkpointDataset(d); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}

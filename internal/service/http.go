@@ -25,6 +25,8 @@ const maxUploadBytes = 512 << 20
 //	POST   /datasets?name=X[&noheader=1] register the CSV request body
 //	POST   /datasets/{name}/append[?header=1]  append rows (CSV body, or JSON
 //	                                     rows with Content-Type: application/json)
+//	POST   /datasets/{name}/checkpoint   fold the dataset into a fresh durable
+//	                                     checkpoint and compact its WAL
 //	DELETE /datasets/{name}              deregister a dataset
 //	GET    /analyze?dataset=X&schema=A,B|B,C   ('|' or %3B between bags)
 //	GET    /discover?dataset=X[&target=0.01][&maxsep=1]
@@ -106,6 +108,14 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		v, err := s.Append(name, records, header)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("POST /datasets/{name}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		v, err := s.Checkpoint(r.PathValue("name"))
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -203,10 +213,14 @@ func schemaParam(r *http.Request) (string, error) {
 }
 
 // statusFor maps service errors onto HTTP statuses: unknown datasets are
-// 404, everything else a caller can fix is 400.
+// 404, durable-store failures are the server's fault (500), everything
+// else a caller can fix is 400.
 func statusFor(err error) int {
 	if errors.Is(err, ErrUnknownDataset) {
 		return http.StatusNotFound
+	}
+	if errors.Is(err, ErrStore) {
+		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest
 }

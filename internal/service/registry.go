@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ajdloss/internal/infotheory"
+	"ajdloss/internal/persist"
 	"ajdloss/internal/relation"
 )
 
@@ -46,7 +47,21 @@ type Dataset struct {
 	// appendMu serializes writers (appends). Readers never touch it.
 	appendMu sync.Mutex
 	view     atomic.Pointer[relation.Relation]
+
+	// store, when non-nil, is the dataset's durability state: Append writes a
+	// WAL record before publishing the new view, and checkpoints fold the WAL
+	// into a fresh columnar snapshot file. Nil means in-memory only.
+	store *persist.DatasetStore
+	// compacting latches the one in-flight background checkpoint triggered by
+	// WAL growth, so a burst of appends cannot pile up compactions.
+	compacting atomic.Bool
+	// checkpoints counts checkpoints written for this dataset (manual,
+	// size-triggered, and shutdown), surfaced per dataset in /stats.
+	checkpoints atomic.Int64
 }
+
+// Durable reports whether the dataset has a durability store attached.
+func (d *Dataset) Durable() bool { return d.store != nil }
 
 // View returns the dataset's current frozen view: one atomic load, no locks.
 // The view is pinned to one snapshot generation and is safe for any number
@@ -119,6 +134,17 @@ func (d *Dataset) Append(records [][]string, header bool) (added, dups, rows int
 		}
 		tuples[i] = t
 	}
+	// Write-ahead: the validated batch hits the WAL before any row is applied
+	// and before the new view is published, so an acknowledged append can
+	// never be missing after a crash. A batch that turns out to be all
+	// duplicates leaves a no-op record behind — replay is idempotent, so it
+	// costs bytes (reclaimed by compaction), never correctness. On a WAL
+	// write failure nothing has been applied: the append fails cleanly.
+	if d.store != nil {
+		if err := d.store.AppendWAL(cur.Generation()+1, records); err != nil {
+			return 0, 0, cur.N(), cur.Generation(), fmt.Errorf("service: %w: %w", ErrStore, err)
+		}
+	}
 	added, err = d.Rel.Append(tuples)
 	if err != nil {
 		return 0, 0, cur.N(), cur.Generation(), err
@@ -136,12 +162,20 @@ func (d *Dataset) Append(records [][]string, header bool) (added, dups, rows int
 type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]*Dataset
-	nextID int64
+	// reserved holds names whose durable registration is writing its initial
+	// checkpoint outside the lock: the name is taken (a concurrent Register
+	// must fail) but not yet queryable. Entries are transient.
+	reserved map[string]bool
+	nextID   int64
+	// store, when non-nil, makes every dataset durable: Register writes an
+	// initial checkpoint, Append write-ahead-logs batches, Remove deletes the
+	// dataset's directory. Set once (before serving) via Service durability.
+	store *persist.Store
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*Dataset)}
+	return &Registry{byName: make(map[string]*Dataset), reserved: make(map[string]bool)}
 }
 
 // Register ingests a CSV stream under the given name. Malformed CSV input
@@ -174,6 +208,62 @@ func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, er
 			return nil, fmt.Errorf("service: warming dataset %q: %w", name, err)
 		}
 	}
+	// Claim the name before the durable setup so the checkpoint write — a
+	// full serialization plus fsyncs — runs OUTSIDE the registry lock:
+	// holding g.mu through disk I/O would stall every request to every
+	// dataset. The reservation makes the claimed name exclusively ours, so
+	// on failure the half-written directory can be removed safely.
+	g.mu.Lock()
+	if g.byName[name] != nil || g.reserved[name] {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("service: %w: %q", ErrAlreadyRegistered, name)
+	}
+	g.reserved[name] = true
+	store := g.store
+	g.mu.Unlock()
+
+	d := &Dataset{
+		Name:         name,
+		Rel:          rel,
+		Enc:          enc,
+		RegisteredAt: time.Now(),
+	}
+	d.view.Store(rel.View()) // generation 1: the freshly warmed snapshot
+	if store != nil {
+		// Durable registration: the generation-1 checkpoint is on disk before
+		// the dataset is reachable, so recovery always finds a schema to
+		// replay the WAL against. Failure aborts the registration cleanly.
+		fail := func(err error) (*Dataset, error) {
+			_ = store.Remove(name)
+			g.mu.Lock()
+			delete(g.reserved, name)
+			g.mu.Unlock()
+			return nil, err
+		}
+		ds, err := store.Dataset(name)
+		if err != nil {
+			return fail(fmt.Errorf("service: registering %q durably: %w", name, err))
+		}
+		if err := ds.WriteCheckpoint(checkpointOf(name, d.View(), enc.Dictionaries())); err != nil {
+			ds.Close()
+			return fail(fmt.Errorf("service: initial checkpoint for %q: %w", name, err))
+		}
+		d.store = ds
+		d.checkpoints.Add(1)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.reserved, name)
+	g.nextID++
+	d.ID = g.nextID
+	g.byName[name] = d
+	return d, nil
+}
+
+// adopt registers a dataset recovered from the durability store: the
+// relation and encoder were rebuilt from its checkpoint and WAL, and ds is
+// attached so further appends keep logging. It fails if the name is taken.
+func (g *Registry) adopt(name string, rel *relation.Relation, enc *relation.Encoder, ds *persist.DatasetStore) (*Dataset, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if _, exists := g.byName[name]; exists {
@@ -186,8 +276,9 @@ func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, er
 		Rel:          rel,
 		Enc:          enc,
 		RegisteredAt: time.Now(),
+		store:        ds,
 	}
-	d.view.Store(rel.View()) // generation 1: the freshly warmed snapshot
+	d.view.Store(rel.View())
 	g.byName[name] = d
 	return d, nil
 }
@@ -200,15 +291,36 @@ func (g *Registry) Get(name string) (*Dataset, bool) {
 	return d, ok
 }
 
-// Remove deregisters name and returns the removed dataset, if any.
+// Remove deregisters name and returns the removed dataset, if any. A
+// durable dataset's directory (checkpoint + WAL) is deleted too: a removed
+// dataset must not resurrect on the next boot.
 func (g *Registry) Remove(name string) (*Dataset, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	d, ok := g.byName[name]
 	if ok {
 		delete(g.byName, name)
+		if d.store != nil {
+			d.store.Close()
+			if g.store != nil {
+				_ = g.store.Remove(name) // best-effort; a leftover dir only costs disk
+			}
+		}
 	}
 	return d, ok
+}
+
+// All returns every registered dataset, sorted by name; the stats path uses
+// it to surface per-dataset durability state.
+func (g *Registry) All() []*Dataset {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Dataset, 0, len(g.byName))
+	for _, d := range g.byName {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // List returns summaries of all datasets, sorted by name.

@@ -31,11 +31,28 @@ type Stats struct {
 	Errors    int64 `json:"errors"`     // requests (including appends) that returned an error
 	Appends   int64 `json:"appends"`    // streaming append batches received (accepted or not)
 	Batches   int64 `json:"batches"`    // POST /batch requests received
+	// Checkpoints counts durable checkpoints written across the currently
+	// registered datasets (registration, manual POST, size-triggered
+	// compaction, shutdown); CheckpointErrors counts background compactions
+	// that failed (manual failures surface to the caller directly).
+	Checkpoints      int64 `json:"checkpoints"`
+	CheckpointErrors int64 `json:"checkpoint_errors"`
 	// SkippedLines counts, per -watch'ed dataset, the file lines the watcher
 	// had to drop: rows with the wrong field count, permanently unparseable
 	// lines, and rows lost to a deterministically failing chunk. Absent until
 	// the first skip.
 	SkippedLines map[string]int64 `json:"skipped_lines,omitempty"`
+	// Durability is the per-dataset durable state — current WAL size, the
+	// generation of the latest checkpoint, and how many checkpoints this
+	// dataset has written. Absent when the service runs without a store.
+	Durability map[string]DatasetDurability `json:"durability,omitempty"`
+}
+
+// DatasetDurability is one dataset's durable state as surfaced in Stats.
+type DatasetDurability struct {
+	WALBytes       int64 `json:"wal_bytes"`
+	LastCheckpoint int64 `json:"last_checkpoint"` // generation; 0 = none yet
+	Checkpoints    int64 `json:"checkpoints"`
 }
 
 // Service is the concurrent analysis engine behind cmd/ajdlossd: a dataset
@@ -47,13 +64,18 @@ type Service struct {
 	sf    flightGroup
 	cache *lruCache
 
-	requests  atomic.Int64
-	cacheHits atomic.Int64
-	coalesced atomic.Int64
-	computed  atomic.Int64
-	errors    atomic.Int64
-	appends   atomic.Int64
-	batches   atomic.Int64
+	requests         atomic.Int64
+	cacheHits        atomic.Int64
+	coalesced        atomic.Int64
+	computed         atomic.Int64
+	errors           atomic.Int64
+	appends          atomic.Int64
+	batches          atomic.Int64
+	checkpointErrors atomic.Int64
+
+	// compactAt is the WAL size that triggers background compaction for a
+	// dataset; set by EnableDurability from the store's options.
+	compactAt int64
 
 	skippedMu sync.Mutex
 	skipped   map[string]int64 // per-watched-dataset dropped line counts
@@ -80,13 +102,29 @@ func (s *Service) Remove(name string) bool {
 // Stats returns a snapshot of the request counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Requests:  s.requests.Load(),
-		CacheHits: s.cacheHits.Load(),
-		Coalesced: s.coalesced.Load(),
-		Computed:  s.computed.Load(),
-		Errors:    s.errors.Load(),
-		Appends:   s.appends.Load(),
-		Batches:   s.batches.Load(),
+		Requests:         s.requests.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		Coalesced:        s.coalesced.Load(),
+		Computed:         s.computed.Load(),
+		Errors:           s.errors.Load(),
+		Appends:          s.appends.Load(),
+		Batches:          s.batches.Load(),
+		CheckpointErrors: s.checkpointErrors.Load(),
+	}
+	for _, d := range s.reg.All() {
+		if d.store == nil {
+			continue
+		}
+		if st.Durability == nil {
+			st.Durability = make(map[string]DatasetDurability)
+		}
+		ckpts := d.checkpoints.Load()
+		st.Checkpoints += ckpts
+		st.Durability[d.Name] = DatasetDurability{
+			WALBytes:       d.store.WALBytes(),
+			LastCheckpoint: d.store.LastCheckpoint(),
+			Checkpoints:    ckpts,
+		}
 	}
 	s.skippedMu.Lock()
 	if len(s.skipped) > 0 {
@@ -259,6 +297,9 @@ func (s *Service) Append(dataset string, records [][]string, header bool) (*Appe
 		// generation); evict them eagerly so they do not squat in the LRU.
 		s.cache.RemovePrefix(datasetPrefix(d.ID))
 	}
+	// Fold an outgrown WAL into a fresh checkpoint in the background; the
+	// append itself never waits on compaction.
+	s.maybeCompact(d)
 	return &AppendView{
 		Dataset:    d.Name,
 		Appended:   added,

@@ -171,6 +171,16 @@ type AppendView struct {
 	Generation int64  `json:"generation"`
 }
 
+// CheckpointView is the result of a manual checkpoint request: the frozen
+// state that was made durable (rows and generation of the view the
+// checkpoint serialized) and the WAL size left after compaction.
+type CheckpointView struct {
+	Dataset    string `json:"dataset"`
+	Rows       int    `json:"rows"`
+	Generation int64  `json:"generation"`
+	WALBytes   int64  `json:"wal_bytes"`
+}
+
 // BatchQuery is one query of a POST /batch request. Kind selects the measure
 // and which fields are read:
 //
