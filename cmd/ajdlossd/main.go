@@ -69,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"ajdloss/internal/engine"
 	"ajdloss/internal/persist"
 	"ajdloss/internal/service"
 )
@@ -107,9 +108,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	dataDir := fs.String("data", "", "durability directory: WAL + checkpoints per dataset, recovery at boot (empty = in-memory only)")
 	walCompact := fs.Int64("wal-compact", persist.DefaultCompactAt, "WAL bytes that trigger background checkpoint compaction (<0 disables)")
 	fsync := fs.Bool("fsync", false, "fsync the WAL on every append (power-failure durability)")
+	procs := fs.Int("procs", 0, "cap engine worker parallelism at this many goroutines (0 = GOMAXPROCS)")
+	eager := fs.Bool("eager-recovery", false, "decode every recovered dataset at boot instead of on first access")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *procs < 0 {
+		return fmt.Errorf("-procs must be >= 0, got %d", *procs)
+	}
+	engine.SetMaxProcs(*procs)
 	if len(watches) > 0 && *watchEvery <= 0 {
 		return fmt.Errorf("-watch-interval must be positive, got %v", *watchEvery)
 	}
@@ -129,10 +136,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 			return fmt.Errorf("recovering datasets from %s: %w", *dataDir, err)
 		}
 		for _, r := range recovered {
+			if r.Lazy {
+				mode := "lazy: columns decode on first access"
+				if *eager {
+					mode = "materialized at boot (-eager-recovery)"
+				}
+				fmt.Fprintf(stderr, "recovered dataset %q: %d rows, generation %d (%s)\n",
+					r.Name, r.Rows, r.Generation, mode)
+				continue
+			}
 			fmt.Fprintf(stderr, "recovered dataset %q: %d rows, generation %d (checkpoint %d + %d WAL rows)\n",
 				r.Name, r.Rows, r.Generation, r.CheckpointGeneration, r.ReplayedRows)
 			if r.DroppedRecords > 0 {
 				fmt.Fprintf(stderr, "recovered dataset %q: dropped %d unusable WAL records\n", r.Name, r.DroppedRecords)
+			}
+		}
+		if *eager {
+			if err := svc.MaterializeAll(); err != nil {
+				return fmt.Errorf("materializing recovered datasets: %w", err)
 			}
 		}
 	}

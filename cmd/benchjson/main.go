@@ -6,6 +6,7 @@
 //
 //	go test -bench=. -run xxx ./... | benchjson > BENCH_results.json
 //	benchjson bench.txt > BENCH_results.json
+//	go test -bench=... -count=3 ./... | benchjson -compare BENCH_results.json -tolerance 0.5
 //
 // The output maps each benchmark (name with the -cpu suffix stripped) to its
 // ns/op plus, when present, B/op and allocs/op:
@@ -18,15 +19,29 @@
 //
 // Lines that are not benchmark results (headers, PASS/ok, failures) are
 // ignored; a benchmark that appears several times (e.g. -count>1) keeps one
-// entry per occurrence, preserving input order.
+// entry per occurrence, preserving input order. Input with zero parseable
+// benchmark lines is an error — an empty run must not silently produce an
+// empty (or trivially passing) result.
+//
+// With -compare, instead of emitting JSON the current results are checked
+// against a committed baseline: for every benchmark present in both (taking
+// the minimum over repeated runs, so -count=3 noise collapses to the best
+// observation), the ns/op, B/op and allocs/op deltas are printed and the
+// exit status is non-zero if any ns/op or allocs/op regression exceeds
+// -tolerance (a fraction: 0.25 allows +25%). Benchmarks only in the baseline
+// are skipped — CI gates on a stable subset, not the full suite.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -52,12 +67,20 @@ type output struct {
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
-	in := stdin
-	if len(args) > 1 {
-		return fmt.Errorf("usage: benchjson [bench.txt] < go-test-bench-output")
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	compare := fs.String("compare", "", "baseline BENCH_results.json to compare against instead of emitting JSON")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional ns/op and allocs/op regression vs -compare baseline")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("usage: benchjson [-compare baseline.json [-tolerance 0.25]] [bench.txt]: %w", err)
 	}
-	if len(args) == 1 {
-		f, err := os.Open(args[0])
+	rest := fs.Args()
+	in := stdin
+	if len(rest) > 1 {
+		return errors.New("usage: benchjson [-compare baseline.json [-tolerance 0.25]] [bench.txt]")
+	}
+	if len(rest) == 1 {
+		f, err := os.Open(rest[0])
 		if err != nil {
 			return err
 		}
@@ -67,6 +90,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	out, err := parse(in)
 	if err != nil {
 		return err
+	}
+	if len(out.Benchmarks) == 0 {
+		return errors.New("no benchmark lines in input (did the bench run actually execute?)")
+	}
+	if *compare != "" {
+		base, err := readBaseline(*compare)
+		if err != nil {
+			return err
+		}
+		return compareResults(stdout, base, out, *tolerance)
 	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
@@ -129,4 +162,122 @@ func trimCPUSuffix(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// readBaseline loads a committed BENCH_results.json.
+func readBaseline(path string) (*output, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base output
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("baseline %s has no benchmarks", path)
+	}
+	return &base, nil
+}
+
+// reduce collapses repeated runs of the same benchmark (-count>1) to the
+// minimum per metric — the least-noisy observation of the true cost.
+func reduce(out *output) map[string]Result {
+	m := make(map[string]Result, len(out.Benchmarks))
+	for _, r := range out.Benchmarks {
+		prev, ok := m[r.Name]
+		if !ok {
+			m[r.Name] = r
+			continue
+		}
+		if r.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = r.NsPerOp
+		}
+		prev.BytesPerOp = minPtr(prev.BytesPerOp, r.BytesPerOp)
+		prev.AllocsPerOp = minPtr(prev.AllocsPerOp, r.AllocsPerOp)
+		m[r.Name] = prev
+	}
+	return m
+}
+
+func minPtr(a, b *int64) *int64 {
+	if a == nil {
+		return b
+	}
+	if b == nil || *a <= *b {
+		return a
+	}
+	return b
+}
+
+// compareResults prints per-benchmark deltas of current vs base and returns
+// an error if any shared benchmark's ns/op or allocs/op regressed by more
+// than tolerance. B/op is reported but never gates: byte sizes shift with
+// map growth thresholds across Go versions and are not what the gate
+// protects (latency and allocation count are).
+func compareResults(w io.Writer, base, current *output, tolerance float64) error {
+	if tolerance < 0 {
+		return fmt.Errorf("tolerance %v must be >= 0", tolerance)
+	}
+	baseline := reduce(base)
+	cur := reduce(current)
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	compared := 0
+	for _, name := range names {
+		c := cur[name]
+		b, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s  new (no baseline): %s ns/op\n", name, fmtNs(c.NsPerOp))
+			continue
+		}
+		compared++
+		nsDelta := delta(c.NsPerOp, b.NsPerOp)
+		line := fmt.Sprintf("%-60s  ns/op %s -> %s (%+.1f%%)", name, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), 100*nsDelta)
+		if b.BytesPerOp != nil && c.BytesPerOp != nil {
+			line += fmt.Sprintf("  B/op %d -> %d (%+.1f%%)", *b.BytesPerOp, *c.BytesPerOp, 100*delta(float64(*c.BytesPerOp), float64(*b.BytesPerOp)))
+		}
+		allocsFail := false
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil {
+			allocsDelta := delta(float64(*c.AllocsPerOp), float64(*b.AllocsPerOp))
+			line += fmt.Sprintf("  allocs/op %d -> %d (%+.1f%%)", *b.AllocsPerOp, *c.AllocsPerOp, 100*allocsDelta)
+			allocsFail = allocsDelta > tolerance
+		}
+		if nsDelta > tolerance || allocsFail {
+			line += "  REGRESSION"
+			failures = append(failures, name)
+		}
+		fmt.Fprintln(w, line)
+	}
+	if compared == 0 {
+		return errors.New("no benchmarks in common with the baseline")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past tolerance %.0f%%: %s",
+			len(failures), 100*tolerance, strings.Join(failures, ", "))
+	}
+	fmt.Fprintf(w, "OK: %d benchmark(s) within tolerance %.0f%%\n", compared, 100*tolerance)
+	return nil
+}
+
+// delta is the fractional change of cur vs base (+0.10 = 10% slower).
+func delta(cur, base float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - base) / base
+}
+
+func fmtNs(ns float64) string {
+	if ns == math.Trunc(ns) {
+		return strconv.FormatFloat(ns, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(ns, 'f', 1, 64)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -67,5 +68,110 @@ func TestRunUsage(t *testing.T) {
 	}
 	if err := run([]string{"/nonexistent/bench.txt"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// An empty run (zero parseable benchmark lines) must fail, not emit an empty
+// benchmarks array that a later -compare would wave through.
+func TestRunEmptyInputFails(t *testing.T) {
+	err := run(nil, strings.NewReader("PASS\nok  \tajdloss\t0.01s\n"), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "no benchmark lines") {
+		t.Fatalf("empty input: err = %v, want no-benchmark-lines error", err)
+	}
+}
+
+// writeBaseline converts bench text into a baseline JSON file via run itself.
+func writeBaseline(t *testing.T, benchText string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader(benchText), &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/baseline.json"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const compareBase = `BenchmarkFast-8	100	1000 ns/op	512 B/op	10 allocs/op
+BenchmarkSlow-8	100	2000 ns/op
+`
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, compareBase)
+	// +10% ns/op and equal allocs: inside the 25% default tolerance. A
+	// second, slower occurrence of Fast checks the min-of-count reduction.
+	current := `BenchmarkFast-8	100	1100 ns/op	512 B/op	10 allocs/op
+BenchmarkFast-8	100	9999 ns/op	512 B/op	10 allocs/op
+BenchmarkSlow-8	100	1500 ns/op
+BenchmarkBrandNew-8	100	42 ns/op
+`
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", base}, strings.NewReader(current), &buf); err != nil {
+		t.Fatalf("compare failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "OK: 2 benchmark(s)") {
+		t.Fatalf("expected 2 compared benchmarks:\n%s", out)
+	}
+	if !strings.Contains(out, "new (no baseline)") {
+		t.Fatalf("BrandNew should be reported as new:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Fatalf("no regression expected:\n%s", out)
+	}
+}
+
+func TestCompareNsRegressionFails(t *testing.T) {
+	base := writeBaseline(t, compareBase)
+	current := `BenchmarkFast-8	100	1600 ns/op	512 B/op	10 allocs/op
+`
+	var buf bytes.Buffer
+	err := run([]string{"-compare", base, "-tolerance", "0.25"}, strings.NewReader(current), &buf)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkFast") {
+		t.Fatalf("60%% ns/op regression: err = %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("regression line not flagged:\n%s", buf.String())
+	}
+	// A looser tolerance admits the same delta.
+	buf.Reset()
+	if err := run([]string{"-compare", base, "-tolerance", "0.75"}, strings.NewReader(current), &buf); err != nil {
+		t.Fatalf("75%% tolerance should pass: %v", err)
+	}
+}
+
+func TestCompareAllocsRegressionFails(t *testing.T) {
+	base := writeBaseline(t, compareBase)
+	// ns/op improved but allocs/op doubled: still a gate failure.
+	current := `BenchmarkFast-8	100	900 ns/op	512 B/op	20 allocs/op
+`
+	var buf bytes.Buffer
+	err := run([]string{"-compare", base}, strings.NewReader(current), &buf)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkFast") {
+		t.Fatalf("allocs regression: err = %v\n%s", err, buf.String())
+	}
+}
+
+func TestCompareNoOverlapFails(t *testing.T) {
+	base := writeBaseline(t, compareBase)
+	var buf bytes.Buffer
+	err := run([]string{"-compare", base}, strings.NewReader("BenchmarkOther-8	10	5 ns/op\n"), &buf)
+	if err == nil || !strings.Contains(err.Error(), "no benchmarks in common") {
+		t.Fatalf("disjoint sets: err = %v", err)
+	}
+}
+
+func TestCompareBadBaseline(t *testing.T) {
+	if err := run([]string{"-compare", "/nonexistent.json"}, strings.NewReader(compareBase), &bytes.Buffer{}); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	path := t.TempDir() + "/empty.json"
+	if err := os.WriteFile(path, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", path}, strings.NewReader(compareBase), &bytes.Buffer{}); err == nil {
+		t.Fatal("empty baseline accepted")
 	}
 }

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -103,12 +102,11 @@ func (p *Plan) Run(workers int) {
 }
 
 // forEach runs fn(i) for i in [0,n) on a pool of at most workers goroutines
-// (workers ≤ 0 means GOMAXPROCS). fn must synchronize its own writes; results
-// should land in caller-owned per-index slots.
+// (workers ≤ 0 means GOMAXPROCS, always clamped by SetMaxProcs). fn must
+// synchronize its own writes; results should land in caller-owned per-index
+// slots.
 func forEach(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = maxWorkers(workers)
 	if workers > n {
 		workers = n
 	}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 
 	"ajdloss/internal/bitset"
@@ -53,13 +54,13 @@ func (g *Grouping) Groups() int { return len(g.Counts) }
 
 // memoEntry is one memoized grouping together with what copy-on-write
 // extension needs: the sorted column set it projects onto (to order
-// extensions parents-first) and the probe map refine built, keyed by
+// extensions parents-first) and the probe refine built, keyed by
 // (parent group id, column value). Entries are immutable once published;
-// Extend clones Counts and the probe map into the child snapshot's entry.
+// Extend clones Counts and the probe into the child snapshot's entry.
 type memoEntry struct {
 	g    *Grouping
 	cols []int
-	next map[uint64]int32 // nil for the empty column set
+	next *probe // nil for the empty column set
 }
 
 // Snapshot is an immutable point-in-time view of a tuple set: the columnar
@@ -87,6 +88,12 @@ type Snapshot struct {
 	n       int     // number of stored (distinct) rows
 	total   int     // Σ weights (== n when weights is nil)
 	gen     int64   // 1 for a fresh snapshot; +1 per Extend
+
+	// colMin/colMax track each column's value range so refinement can pick
+	// dense probe tables (see refine.go); maintained at construction and by
+	// Extend, never mutated afterwards.
+	colMin []Value
+	colMax []Value
 
 	mu      sync.Mutex
 	memo    map[string]*memoEntry
@@ -127,12 +134,25 @@ func newSnapshot(attrs []string, rows []Tuple, weights []int64, total int) *Snap
 		pos[a] = i
 	}
 	cols := make([][]Value, len(attrs))
+	colMin := make([]Value, len(attrs))
+	colMax := make([]Value, len(attrs))
 	for c := range cols {
-		col := make([]Value, len(rows))
+		// Reserve append headroom so the first streaming Extends write in
+		// place instead of reallocating every column (see extendHeadroom).
+		col := make([]Value, len(rows), len(rows)+extendHeadroom(len(rows)))
+		lo, hi := Value(0), Value(0)
 		for i, t := range rows {
-			col[i] = t[c]
+			v := t[c]
+			col[i] = v
+			if i == 0 || v < lo {
+				lo = v
+			}
+			if i == 0 || v > hi {
+				hi = v
+			}
 		}
 		cols[c] = col
+		colMin[c], colMax[c] = lo, hi
 	}
 	return &Snapshot{
 		attrs:   attrs,
@@ -143,6 +163,8 @@ func newSnapshot(attrs []string, rows []Tuple, weights []int64, total int) *Snap
 		n:       len(rows),
 		total:   total,
 		gen:     1,
+		colMin:  colMin,
+		colMax:  colMax,
 		memo:    make(map[string]*memoEntry),
 		entropy: make(map[string]float64),
 	}
@@ -196,8 +218,20 @@ func (s *Snapshot) sortedColumns(attrs []string) ([]int, error) {
 	return out, nil
 }
 
+// colsKey renders a sorted column set as a memo key. Sets within one 64-bit
+// word — every realistic schema — pack into a single hex string with one
+// small allocation; wider sets fall back to the bitset rendering (prefixed
+// so the two encodings can never collide).
 func colsKey(cols []int) string {
-	return bitset.FromSlice(cols).Key()
+	var w uint64
+	for _, c := range cols {
+		if c >= 64 {
+			return "+" + bitset.FromSlice(cols).Key()
+		}
+		w |= 1 << uint(c)
+	}
+	var buf [16]byte
+	return string(strconv.AppendUint(buf[:0], w, 16))
 }
 
 // Grouping returns the memoized columnar grouping of the snapshot onto attrs.
@@ -236,7 +270,13 @@ func (s *Snapshot) GroupEntropy(attrs ...string) (float64, error) {
 // column. The recursion guarantees the memo is prefix-closed: every prefix of
 // a cached set is cached too (Extend and the planner rely on this).
 func (s *Snapshot) grouping(cols []int) *Grouping {
-	key := colsKey(cols)
+	return s.groupingKeyed(colsKey(cols), cols)
+}
+
+// groupingKeyed is grouping with the memo key precomputed, so callers that
+// already rendered it (groupEntropy renders it for its own memo) do not pay
+// for it twice.
+func (s *Snapshot) groupingKeyed(key string, cols []int) *Grouping {
 	s.mu.Lock()
 	ent, ok := s.memo[key]
 	s.mu.Unlock()
@@ -263,52 +303,11 @@ func (s *Snapshot) grouping(cols []int) *Grouping {
 // trivialGrouping is the grouping on the empty attribute set: every row in
 // one group (no groups at all when the snapshot is empty).
 func (s *Snapshot) trivialGrouping() *Grouping {
-	g := &Grouping{IDs: make([]int32, s.n)}
+	g := &Grouping{IDs: make([]int32, s.n, s.n+extendHeadroom(s.n))}
 	if s.n > 0 {
 		g.Counts = []int{s.total}
 	}
 	return g
-}
-
-// refine splits every group of parent by the values of column col. New group
-// ids are assigned in first-occurrence row order, which makes the result —
-// and everything derived from it — deterministic. The probe map is returned
-// alongside so Extend can probe it (after cloning) for appended rows:
-// incremental and from-scratch construction assign identical ids because both
-// scan rows in the same stored order.
-func (s *Snapshot) refine(parent *Grouping, col int) (*Grouping, map[uint64]int32) {
-	column := s.cols[col]
-	ids := make([]int32, s.n)
-	// Key combines (parent group id, column value) into one uint64; both are
-	// 32-bit so the pairing is injective.
-	next := make(map[uint64]int32, len(parent.Counts)*2)
-	counts := make([]int, 0, len(parent.Counts)*2)
-	if s.weights == nil {
-		for i := 0; i < s.n; i++ {
-			k := uint64(uint32(parent.IDs[i]))<<32 | uint64(uint32(column[i]))
-			id, ok := next[k]
-			if !ok {
-				id = int32(len(counts))
-				next[k] = id
-				counts = append(counts, 0)
-			}
-			ids[i] = id
-			counts[id]++
-		}
-	} else {
-		for i := 0; i < s.n; i++ {
-			k := uint64(uint32(parent.IDs[i]))<<32 | uint64(uint32(column[i]))
-			id, ok := next[k]
-			if !ok {
-				id = int32(len(counts))
-				next[k] = id
-				counts = append(counts, 0)
-			}
-			ids[i] = id
-			counts[id] += int(s.weights[i])
-		}
-	}
-	return &Grouping{IDs: ids, Counts: counts}, next
 }
 
 // groupEntropy returns the entropy (nats) of the distribution assigning
@@ -321,7 +320,7 @@ func (s *Snapshot) groupEntropy(cols []int) float64 {
 	if ok {
 		return h
 	}
-	g := s.grouping(cols)
+	g := s.groupingKeyed(key, cols)
 	h = entropyOfCounts(g.Counts, s.total)
 	s.mu.Lock()
 	s.entropy[key] = h
@@ -370,10 +369,19 @@ func (s *Snapshot) Extend(fresh []Tuple) *Snapshot {
 		return s
 	}
 	cols := make([][]Value, len(s.cols))
+	colMin := append(make([]Value, 0, len(s.colMin)), s.colMin...)
+	colMax := append(make([]Value, 0, len(s.colMax)), s.colMax...)
 	for c := range cols {
 		col := s.cols[c][:s.n:cap(s.cols[c])]
 		for _, t := range fresh {
-			col = append(col, t[c])
+			v := t[c]
+			col = append(col, v)
+			if v < colMin[c] {
+				colMin[c] = v
+			}
+			if v > colMax[c] {
+				colMax[c] = v
+			}
 		}
 		cols[c] = col
 	}
@@ -395,40 +403,58 @@ func (s *Snapshot) Extend(fresh []Tuple) *Snapshot {
 		n:       s.n + len(fresh),
 		total:   s.total + len(fresh),
 		gen:     s.gen + 1,
+		colMin:  colMin,
+		colMax:  colMax,
 		memo:    make(map[string]*memoEntry, len(entries)),
 		entropy: make(map[string]float64),
 	}
 
 	// Extend parents-first (shorter column sets first): a child's appended ids
 	// are derived from its parent's, and the memo's prefix closure guarantees
-	// the parent entry is present.
+	// the parent entry is present. Entries of one lattice level have no data
+	// dependencies between them, so each level runs on the worker pool —
+	// results land in per-entry slots and publish into the memo at the level
+	// barrier.
 	sort.Slice(entries, func(i, j int) bool { return len(entries[i].cols) < len(entries[j].cols) })
-	for _, ent := range entries {
+	extendOne := func(ent *memoEntry) *memoEntry {
 		if len(ent.cols) == 0 {
 			ids := append(ent.g.IDs[:s.n:cap(ent.g.IDs)], make([]int32, len(fresh))...)
-			child.memo[colsKey(nil)] = &memoEntry{g: &Grouping{IDs: ids, Counts: []int{child.total}}}
-			continue
+			return &memoEntry{g: &Grouping{IDs: ids, Counts: []int{child.total}}}
 		}
 		parent := child.memo[colsKey(ent.cols[:len(ent.cols)-1])].g
 		column := child.cols[ent.cols[len(ent.cols)-1]]
-		next := make(map[uint64]int32, len(ent.next)+len(fresh))
-		for k, v := range ent.next {
-			next[k] = v
-		}
+		next := ent.next.clone(len(fresh))
 		counts := append(make([]int, 0, len(ent.g.Counts)+len(fresh)), ent.g.Counts...)
 		ids := ent.g.IDs[:s.n:cap(ent.g.IDs)]
 		for i := s.n; i < child.n; i++ {
-			k := uint64(uint32(parent.IDs[i]))<<32 | uint64(uint32(column[i]))
-			id, ok := next[k]
-			if !ok {
+			pid := parent.IDs[i]
+			v := column[i]
+			id := next.lookup(pid, v)
+			if id < 0 {
 				id = int32(len(counts))
-				next[k] = id
+				next.insert(pid, v, id)
 				counts = append(counts, 0)
 			}
 			ids = append(ids, id)
 			counts[id]++
 		}
-		child.memo[colsKey(ent.cols)] = &memoEntry{g: &Grouping{IDs: ids, Counts: counts}, cols: ent.cols, next: next}
+		return &memoEntry{g: &Grouping{IDs: ids, Counts: counts}, cols: ent.cols, next: next}
+	}
+	workers := maxWorkers(0)
+	for lo := 0; lo < len(entries); {
+		hi := lo + 1
+		for hi < len(entries) && len(entries[hi].cols) == len(entries[lo].cols) {
+			hi++
+		}
+		level := entries[lo:hi]
+		extended := make([]*memoEntry, len(level))
+		forEach(len(level), workers, func(i int) {
+			extended[i] = extendOne(level[i])
+		})
+		for _, ent := range extended {
+			child.memo[colsKey(ent.cols)] = ent
+		}
+		lo = hi
 	}
 	return child
 }

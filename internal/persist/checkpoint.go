@@ -13,7 +13,17 @@ import (
 const (
 	checkpointFile    = "checkpoint.ckpt"
 	checkpointTmpFile = "checkpoint.tmp"
-	checkpointMagic   = "AJDCKPT1"
+	// checkpointMagic is the current (v2) on-disk format: a CRC-protected
+	// header with per-segment lengths, followed by independently
+	// CRC-protected dictionary and column segments. The header alone is
+	// enough to answer schema/row-count/generation queries, and each segment
+	// decodes independently — which is what makes lazy, mmap-backed recovery
+	// possible (see LazyCheckpoint).
+	checkpointMagic   = "AJDCKPT2"
+	checkpointMagicV1 = "AJDCKPT1"
+	// checkpointPrefixRead is the first read of a lazy open: large enough to
+	// cover the header of any realistic schema in one syscall.
+	checkpointPrefixRead = 64 << 10
 )
 
 // Checkpoint is the binary columnar serialization of one frozen dataset
@@ -38,6 +48,19 @@ func (c *Checkpoint) NumRows() int {
 		return 0
 	}
 	return len(c.Columns[0])
+}
+
+// CheckpointHeader is the cheap-to-read summary a v2 checkpoint stores ahead
+// of its data segments: everything recovery needs to register a dataset
+// (schema, row count, generation) without decoding a single column.
+type CheckpointHeader struct {
+	Name       string
+	Attrs      []string
+	Generation int64
+	Rows       int
+
+	dictLens []int64 // per attribute: dictionary segment length (body + CRC)
+	colLens  []int64 // per attribute: column segment length (body + CRC)
 }
 
 // WriteCheckpoint atomically publishes ck as the dataset's latest checkpoint
@@ -74,39 +97,256 @@ func (d *DatasetStore) WriteCheckpoint(ck *Checkpoint) error {
 	return d.compactWAL(ck.Generation)
 }
 
-// encodeCheckpoint renders the binary columnar format: magic, then
-// uvarint-framed name/generation/schema/dictionaries, then per-column
-// uvarint value streams, and a trailing CRC32 of everything before it.
-func encodeCheckpoint(ck *Checkpoint) []byte {
-	buf := make([]byte, 0, 1024)
-	buf = append(buf, checkpointMagic...)
-	buf = appendString(buf, ck.Name)
-	buf = binary.AppendUvarint(buf, uint64(ck.Generation))
-	buf = binary.AppendUvarint(buf, uint64(len(ck.Attrs)))
-	for _, a := range ck.Attrs {
-		buf = appendString(buf, a)
-	}
-	for _, dict := range ck.Dicts {
-		buf = binary.AppendUvarint(buf, uint64(len(dict)))
-		for _, s := range dict {
-			buf = appendString(buf, s)
-		}
-	}
-	buf = binary.AppendUvarint(buf, uint64(ck.NumRows()))
-	for _, col := range ck.Columns {
-		for _, v := range col {
-			buf = binary.AppendUvarint(buf, uint64(uint32(v)))
-		}
-	}
+// sealSegment appends the CRC32 trailer that makes a segment independently
+// verifiable.
+func sealSegment(body []byte) []byte {
 	var crc [4]byte
-	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
-	return append(buf, crc[:]...)
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	return append(body, crc[:]...)
 }
 
-// readCheckpointFile loads and verifies a checkpoint. A missing file returns
-// (nil, nil): the dataset has no checkpoint (an interrupted registration). A
-// present but corrupt file is an error — unlike a torn WAL tail there is no
-// smaller consistent state to fall back to.
+// openSegment verifies and strips a segment's CRC32 trailer.
+func openSegment(seg []byte) ([]byte, error) {
+	if len(seg) < 4 {
+		return nil, fmt.Errorf("persist: checkpoint segment shorter than its CRC")
+	}
+	body, trailer := seg[:len(seg)-4], seg[len(seg)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("persist: checkpoint segment CRC mismatch")
+	}
+	return body, nil
+}
+
+func encodeDictBody(dict []string) []byte {
+	size := binary.MaxVarintLen64
+	for _, s := range dict {
+		size += binary.MaxVarintLen64 + len(s)
+	}
+	body := make([]byte, 0, size)
+	body = binary.AppendUvarint(body, uint64(len(dict)))
+	for _, s := range dict {
+		body = appendString(body, s)
+	}
+	return body
+}
+
+func decodeDictBody(body []byte) ([]string, error) {
+	n, p, err := uvarint(body)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p))+1 {
+		return nil, fmt.Errorf("persist: checkpoint dictionary size %d exceeds segment", n)
+	}
+	dict := make([]string, n)
+	for i := range dict {
+		if dict[i], p, err = readString(p); err != nil {
+			return nil, err
+		}
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes in dictionary segment", len(p))
+	}
+	return dict, nil
+}
+
+func encodeColumnBody(col []int32) []byte {
+	body := make([]byte, 0, 2*len(col)+8)
+	for _, v := range col {
+		body = binary.AppendUvarint(body, uint64(uint32(v)))
+	}
+	return body
+}
+
+func decodeColumnBody(body []byte, rows int) ([]int32, error) {
+	col := make([]int32, rows)
+	p := body
+	var err error
+	for i := range col {
+		var v uint64
+		if v, p, err = uvarint(p); err != nil {
+			return nil, err
+		}
+		if v > 1<<32-1 {
+			return nil, fmt.Errorf("persist: checkpoint value %d out of range", v)
+		}
+		col[i] = int32(uint32(v))
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes in column segment", len(p))
+	}
+	return col, nil
+}
+
+// encodeCheckpoint renders the v2 format:
+//
+//	magic | uvarint(headerLen) | header | CRC32(header) | segments
+//
+// The header carries name/generation/schema/row count plus each segment's
+// length (segments are packed in order: all dictionaries, then all columns),
+// so a reader can locate any segment from the header alone. Every segment
+// carries its own CRC32 trailer and decodes independently.
+func encodeCheckpoint(ck *Checkpoint) []byte {
+	nattrs := len(ck.Attrs)
+	dictSegs := make([][]byte, nattrs)
+	colSegs := make([][]byte, nattrs)
+	total := 0
+	for i := range dictSegs {
+		var dict []string
+		if i < len(ck.Dicts) {
+			dict = ck.Dicts[i]
+		}
+		dictSegs[i] = sealSegment(encodeDictBody(dict))
+		total += len(dictSegs[i])
+	}
+	for c := range colSegs {
+		var col []int32
+		if c < len(ck.Columns) {
+			col = ck.Columns[c]
+		}
+		colSegs[c] = sealSegment(encodeColumnBody(col))
+		total += len(colSegs[c])
+	}
+	hdr := make([]byte, 0, 256)
+	hdr = appendString(hdr, ck.Name)
+	hdr = binary.AppendUvarint(hdr, uint64(ck.Generation))
+	hdr = binary.AppendUvarint(hdr, uint64(nattrs))
+	for _, a := range ck.Attrs {
+		hdr = appendString(hdr, a)
+	}
+	hdr = binary.AppendUvarint(hdr, uint64(ck.NumRows()))
+	for _, s := range dictSegs {
+		hdr = binary.AppendUvarint(hdr, uint64(len(s)))
+	}
+	for _, s := range colSegs {
+		hdr = binary.AppendUvarint(hdr, uint64(len(s)))
+	}
+	buf := make([]byte, 0, len(checkpointMagic)+binary.MaxVarintLen64+len(hdr)+4+total)
+	buf = append(buf, checkpointMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(hdr)))
+	buf = append(buf, hdr...)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(hdr))
+	buf = append(buf, crc[:]...)
+	for _, s := range dictSegs {
+		buf = append(buf, s...)
+	}
+	for _, s := range colSegs {
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+// parseCheckpointHeader parses the v2 preamble from a prefix of the file.
+// When the prefix is too short it returns need > 0: the caller should retry
+// with at least that many bytes. segBase is the file offset where the packed
+// segment area begins.
+func parseCheckpointHeader(prefix []byte) (hdr *CheckpointHeader, segBase int64, need int, err error) {
+	m := len(checkpointMagic)
+	if len(prefix) < m || string(prefix[:m]) != checkpointMagic {
+		return nil, 0, 0, fmt.Errorf("persist: not a checkpoint file")
+	}
+	hlen, p, err := uvarint(prefix[m:])
+	if err != nil {
+		// A truncated varint this early can only mean a file shorter than any
+		// valid checkpoint.
+		return nil, 0, 0, fmt.Errorf("persist: truncated checkpoint header")
+	}
+	if hlen > 1<<26 {
+		return nil, 0, 0, fmt.Errorf("persist: checkpoint header length %d out of range", hlen)
+	}
+	lenBytes := len(prefix) - m - len(p)
+	segBase = int64(m+lenBytes) + int64(hlen) + 4
+	if int64(len(prefix)) < segBase {
+		return nil, 0, int(segBase), nil
+	}
+	body := prefix[m+lenBytes : m+lenBytes+int(hlen)]
+	trailer := prefix[m+lenBytes+int(hlen) : segBase]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+		return nil, 0, 0, fmt.Errorf("persist: checkpoint header CRC mismatch")
+	}
+	h := &CheckpointHeader{}
+	if h.Name, body, err = readString(body); err != nil {
+		return nil, 0, 0, err
+	}
+	gen, body, err := uvarint(body)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	h.Generation = int64(gen)
+	nattrs, body, err := uvarint(body)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if nattrs > uint64(len(body)) {
+		return nil, 0, 0, fmt.Errorf("persist: checkpoint attr count %d exceeds header", nattrs)
+	}
+	h.Attrs = make([]string, nattrs)
+	for i := range h.Attrs {
+		if h.Attrs[i], body, err = readString(body); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	nrows, body, err := uvarint(body)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if nrows > 1<<40 {
+		return nil, 0, 0, fmt.Errorf("persist: checkpoint row count %d out of range", nrows)
+	}
+	h.Rows = int(nrows)
+	h.dictLens = make([]int64, nattrs)
+	h.colLens = make([]int64, nattrs)
+	for i := range h.dictLens {
+		var n uint64
+		if n, body, err = uvarint(body); err != nil {
+			return nil, 0, 0, err
+		}
+		h.dictLens[i] = int64(n)
+	}
+	for c := range h.colLens {
+		var n uint64
+		if n, body, err = uvarint(body); err != nil {
+			return nil, 0, 0, err
+		}
+		h.colLens[c] = int64(n)
+	}
+	if len(body) != 0 {
+		return nil, 0, 0, fmt.Errorf("persist: %d trailing bytes in checkpoint header", len(body))
+	}
+	return h, segBase, 0, nil
+}
+
+// segmentOffsets derives each segment's offset from the packed lengths and
+// validates that the segment area covers the file exactly.
+func (h *CheckpointHeader) segmentOffsets(segBase, fileSize int64) (dictOffs, colOffs []int64, err error) {
+	dictOffs = make([]int64, len(h.dictLens))
+	colOffs = make([]int64, len(h.colLens))
+	off := segBase
+	for i, n := range h.dictLens {
+		if n < 4 {
+			return nil, nil, fmt.Errorf("persist: checkpoint dictionary segment %d shorter than its CRC", i)
+		}
+		dictOffs[i] = off
+		off += n
+	}
+	for c, n := range h.colLens {
+		if n < 4 {
+			return nil, nil, fmt.Errorf("persist: checkpoint column segment %d shorter than its CRC", c)
+		}
+		colOffs[c] = off
+		off += n
+	}
+	if off != fileSize {
+		return nil, nil, fmt.Errorf("persist: checkpoint segments end at %d, file size %d", off, fileSize)
+	}
+	return dictOffs, colOffs, nil
+}
+
+// readCheckpointFile loads and verifies a checkpoint eagerly. A missing file
+// returns (nil, nil): the dataset has no checkpoint (an interrupted
+// registration). A present but corrupt file is an error — unlike a torn WAL
+// tail there is no smaller consistent state to fall back to.
 func readCheckpointFile(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -118,15 +358,65 @@ func readCheckpointFile(path string) (*Checkpoint, error) {
 	return decodeCheckpoint(data)
 }
 
+// decodeCheckpoint decodes either checkpoint format, dispatching on magic.
 func decodeCheckpoint(data []byte) (*Checkpoint, error) {
-	if len(data) < len(checkpointMagic)+4 || string(data[:len(checkpointMagic)]) != checkpointMagic {
+	if len(data) >= len(checkpointMagicV1) && string(data[:len(checkpointMagicV1)]) == checkpointMagicV1 {
+		return decodeCheckpointV1(data)
+	}
+	return decodeCheckpointV2(data)
+}
+
+func decodeCheckpointV2(data []byte) (*Checkpoint, error) {
+	hdr, segBase, need, err := parseCheckpointHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if need > 0 {
+		return nil, fmt.Errorf("persist: truncated checkpoint header")
+	}
+	dictOffs, colOffs, err := hdr.segmentOffsets(segBase, int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{
+		Name:       hdr.Name,
+		Attrs:      hdr.Attrs,
+		Generation: hdr.Generation,
+		Dicts:      make([][]string, len(hdr.Attrs)),
+		Columns:    make([][]int32, len(hdr.Attrs)),
+	}
+	for i := range ck.Dicts {
+		body, err := openSegment(data[dictOffs[i] : dictOffs[i]+hdr.dictLens[i]])
+		if err != nil {
+			return nil, err
+		}
+		if ck.Dicts[i], err = decodeDictBody(body); err != nil {
+			return nil, err
+		}
+	}
+	for c := range ck.Columns {
+		body, err := openSegment(data[colOffs[c] : colOffs[c]+hdr.colLens[c]])
+		if err != nil {
+			return nil, err
+		}
+		if ck.Columns[c], err = decodeColumnBody(body, hdr.Rows); err != nil {
+			return nil, err
+		}
+	}
+	return ck, nil
+}
+
+// decodeCheckpointV1 decodes the legacy single-CRC monolithic format, kept so
+// stores written before the v2 layout still recover.
+func decodeCheckpointV1(data []byte) (*Checkpoint, error) {
+	if len(data) < len(checkpointMagicV1)+4 || string(data[:len(checkpointMagicV1)]) != checkpointMagicV1 {
 		return nil, fmt.Errorf("persist: not a checkpoint file")
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
 		return nil, fmt.Errorf("persist: checkpoint CRC mismatch")
 	}
-	p := body[len(checkpointMagic):]
+	p := body[len(checkpointMagicV1):]
 	ck := &Checkpoint{}
 	var err error
 	if ck.Name, p, err = readString(p); err != nil {

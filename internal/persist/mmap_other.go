@@ -1,0 +1,11 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// mmapFile always falls back to ReadAt on platforms without a POSIX mmap.
+func mmapFile(_ *os.File, _ int64) []byte { return nil }
+
+// munmapFile matches the unix build's signature; nothing to release.
+func munmapFile(_ []byte) {}

@@ -40,8 +40,9 @@ type DatasetStore struct {
 	name string
 	sync bool
 
-	mu  sync.Mutex // guards wal handle writes and rotation
-	wal *os.File
+	mu       sync.Mutex // guards wal handle writes and rotation
+	wal      *os.File
+	frameBuf []byte // reused frame encode buffer; owned by mu
 	// ckptMu serializes checkpoint writers: a manual checkpoint, a
 	// size-triggered background compaction and the shutdown sweep may race,
 	// and unserialized they would interleave writes into the shared tmp file
@@ -74,13 +75,20 @@ func (d *DatasetStore) Close() error {
 // [len][crc][payload], fsynced when the store is in Sync mode. gen is the
 // generation the batch is expected to produce (see WALRecord).
 func (d *DatasetStore) AppendWAL(gen int64, records [][]string) error {
-	payload := encodeWALPayload(gen, records)
-	frame := make([]byte, walFrameHeader+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	copy(frame[walFrameHeader:], payload)
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Encode into the store's reused buffer: appends are serialized by this
+	// mutex, so one buffer per dataset removes the per-append frame and
+	// payload allocations from the streaming hot path.
+	buf := d.frameBuf
+	if cap(buf) < walFrameHeader {
+		buf = make([]byte, 0, 1024)
+	}
+	frame := appendWALPayload(buf[:walFrameHeader], gen, records)
+	payload := frame[walFrameHeader:]
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	d.frameBuf = frame
 	if _, err := d.wal.Write(frame); err != nil {
 		return fmt.Errorf("persist: WAL append: %w", err)
 	}
@@ -107,21 +115,53 @@ func (d *DatasetStore) Load() (*Checkpoint, []WALRecord, error) {
 	if ck != nil {
 		d.lastCkpt.Store(ck.Generation)
 	}
+	recs, err := d.loadWAL()
+	if err != nil {
+		return nil, nil, err
+	}
+	return ck, recs, nil
+}
+
+// LoadLazy is Load without the checkpoint decode: the checkpoint is opened
+// lazily (header only; see LazyCheckpoint) while the WAL tail is still fully
+// scanned — its records must replay on first access, and truncating a torn
+// tail belongs at boot, before any new append extends the file. The caller
+// owns the returned LazyCheckpoint and must Close it after materializing.
+func (d *DatasetStore) LoadLazy() (*LazyCheckpoint, []WALRecord, error) {
+	lck, err := OpenLazyCheckpoint(filepath.Join(d.dir, checkpointFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	if lck != nil {
+		d.lastCkpt.Store(lck.Header().Generation)
+	}
+	recs, err := d.loadWAL()
+	if err != nil {
+		if lck != nil {
+			lck.Close()
+		}
+		return nil, nil, err
+	}
+	return lck, recs, nil
+}
+
+// loadWAL reads every intact WAL record and truncates a torn tail on disk,
+// so the next append (O_APPEND) starts at a frame boundary instead of
+// extending garbage.
+func (d *DatasetStore) loadWAL() ([]WALRecord, error) {
 	walPath := filepath.Join(d.dir, walFile)
 	data, err := os.ReadFile(walPath)
 	if err != nil {
-		return nil, nil, fmt.Errorf("persist: reading WAL: %w", err)
+		return nil, fmt.Errorf("persist: reading WAL: %w", err)
 	}
 	recs, good := decodeWALFrames(data)
 	if good < int64(len(data)) {
-		// Drop the torn tail on disk too, so the next append (O_APPEND)
-		// starts at a frame boundary instead of extending garbage.
 		if err := os.Truncate(walPath, good); err != nil {
-			return nil, nil, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
+			return nil, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
 		}
 	}
 	d.walBytes.Store(good)
-	return ck, recs, nil
+	return recs, nil
 }
 
 // walFrame is one intact WAL frame: its raw bytes (header + payload, for
@@ -172,18 +212,10 @@ func decodeWALFrames(data []byte) ([]WALRecord, int64) {
 	return recs, good
 }
 
-// encodeWALPayload renders one record: uvarint generation, uvarint record
-// count, then per record a uvarint field count and per field uvarint length
-// + raw bytes.
-func encodeWALPayload(gen int64, records [][]string) []byte {
-	size := 2 * binary.MaxVarintLen64
-	for _, rec := range records {
-		size += binary.MaxVarintLen64
-		for _, f := range rec {
-			size += binary.MaxVarintLen64 + len(f)
-		}
-	}
-	buf := make([]byte, 0, size)
+// appendWALPayload appends one record's payload to buf: uvarint generation,
+// uvarint record count, then per record a uvarint field count and per field
+// uvarint length + raw bytes.
+func appendWALPayload(buf []byte, gen int64, records [][]string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(gen))
 	buf = binary.AppendUvarint(buf, uint64(len(records)))
 	for _, rec := range records {

@@ -30,10 +30,11 @@ type Tuple = []Value
 // Relation is a finite set of tuples over a fixed list of attributes.
 // The zero value is not usable; construct with New or FromRows.
 type Relation struct {
-	attrs []string
-	pos   map[string]int
-	rows  []Tuple
-	index map[string]int // row key -> index in rows (nil on frozen Views until built)
+	attrs  []string
+	pos    map[string]int
+	rows   []Tuple
+	index  map[string]int // row key -> index in rows (nil on frozen Views until built)
+	keyBuf []byte         // scratch for row-key encoding; owned by the single writer
 
 	// snap is the head of the relation's engine.Snapshot chain (lazily built;
 	// see groupindex.go). Reads are safe from multiple goroutines; mutation is
@@ -111,18 +112,22 @@ func (r *Relation) Row(i int) Tuple { return r.rows[i] }
 // Rows returns all tuples. The caller must not modify them.
 func (r *Relation) Rows() []Tuple { return r.rows }
 
+// appendRowKey appends the key encoding of vals to b and returns it. Mutating
+// paths encode into a reused scratch buffer and look the key up via
+// r.index[string(buf)] — a form the compiler compiles without materializing
+// the string — so duplicate detection costs zero allocations per row.
+func appendRowKey(b []byte, vals []Value) []byte {
+	for _, v := range vals {
+		u := uint32(v)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return b
+}
+
 // rowKey encodes vals into a map key. Keys are only comparable between
 // slices of the same length, which is guaranteed per call site.
 func rowKey(vals []Value) string {
-	b := make([]byte, 4*len(vals))
-	for i, v := range vals {
-		u := uint32(v)
-		b[4*i] = byte(u)
-		b[4*i+1] = byte(u >> 8)
-		b[4*i+2] = byte(u >> 16)
-		b[4*i+3] = byte(u >> 24)
-	}
-	return string(b)
+	return string(appendRowKey(make([]byte, 0, 4*len(vals)), vals))
 }
 
 // RowKey encodes a tuple as a map key; exposed for packages that hash rows.
@@ -137,13 +142,13 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != len(r.attrs) {
 		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(t), len(r.attrs)))
 	}
-	k := rowKey(t)
-	if _, ok := r.index[k]; ok {
+	r.keyBuf = appendRowKey(r.keyBuf[:0], t)
+	if _, ok := r.index[string(r.keyBuf)]; ok {
 		return false
 	}
 	cp := make(Tuple, len(t))
 	copy(cp, t)
-	r.index[k] = len(r.rows)
+	r.index[string(r.keyBuf)] = len(r.rows)
 	r.rows = append(r.rows, cp)
 	r.snap = nil // invalidate the snapshot head; the next query rebuilds
 	return true
@@ -174,15 +179,21 @@ func (r *Relation) Append(rows []Tuple) (int, error) {
 			return 0, fmt.Errorf("relation: tuple arity %d != schema arity %d", len(t), len(r.attrs))
 		}
 	}
-	var fresh []Tuple
+	// One backing array holds every copied tuple of the batch (carved with
+	// full slice expressions so tuples stay independent), and duplicate keys
+	// are probed through the scratch buffer without allocating — together the
+	// per-row costs of a batch are one map insert plus one key string.
+	arity := len(r.attrs)
+	backing := make([]Value, 0, len(rows)*arity)
+	fresh := make([]Tuple, 0, len(rows))
 	for _, t := range rows {
-		k := rowKey(t)
-		if _, ok := r.index[k]; ok {
+		r.keyBuf = appendRowKey(r.keyBuf[:0], t)
+		if _, ok := r.index[string(r.keyBuf)]; ok {
 			continue
 		}
-		cp := make(Tuple, len(t))
-		copy(cp, t)
-		r.index[k] = len(r.rows)
+		backing = append(backing, t...)
+		cp := backing[len(backing)-arity : len(backing) : len(backing)]
+		r.index[string(r.keyBuf)] = len(r.rows)
 		r.rows = append(r.rows, cp)
 		fresh = append(fresh, cp)
 	}
@@ -234,11 +245,23 @@ func (r *Relation) Contains(t Tuple) bool {
 	return ok
 }
 
-// Clone returns an independent deep copy of r.
+// Clone returns an independent deep copy of r. Existing rows are already
+// distinct, so the copy skips duplicate detection: one backing array holds
+// all tuples and the index is rebuilt with its final size.
 func (r *Relation) Clone() *Relation {
 	out := New(r.attrs...)
+	if len(r.rows) == 0 {
+		return out
+	}
+	arity := len(r.attrs)
+	backing := make([]Value, 0, len(r.rows)*arity)
+	out.rows = make([]Tuple, 0, len(r.rows))
+	out.index = make(map[string]int, len(r.rows))
 	for _, t := range r.rows {
-		out.Insert(t)
+		backing = append(backing, t...)
+		cp := backing[len(backing)-arity : len(backing) : len(backing)]
+		out.index[rowKey(cp)] = len(out.rows)
+		out.rows = append(out.rows, cp)
 	}
 	return out
 }

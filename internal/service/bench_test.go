@@ -221,3 +221,71 @@ func BenchmarkRecovery(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkMultiDatasetBoot is the N-dataset boot benchmark of the raw-speed
+// pass: a store of 50 cleanly checkpointed datasets (empty WALs — the state
+// a graceful shutdown leaves) is recovered lazily (headers only; columns
+// decode on first access) vs eagerly (MaterializeAll decodes every column at
+// boot, the pre-lazy behavior). Lazy boot cost is O(datasets), eager is
+// O(total bytes), so the gap widens linearly with fleet size.
+func BenchmarkMultiDatasetBoot(b *testing.B) {
+	const datasets = 50
+	dir := b.TempDir()
+	{
+		store, err := persist.Open(dir, persist.Options{CompactAt: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := New(0)
+		if _, err := s.EnableDurability(store); err != nil {
+			b.Fatal(err)
+		}
+		model := randrel.Model{
+			Attrs:   []string{"A", "B", "C", "D", "E", "F"},
+			Domains: []int{16, 16, 16, 16, 16, 16},
+			N:       2000,
+		}
+		r, err := model.Sample(randrel.NewRand(11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var csv bytes.Buffer
+		if err := relation.WriteCSV(&csv, r, nil); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < datasets; i++ {
+			name := fmt.Sprintf("bench-%02d", i)
+			if _, err := s.Registry().Register(name, bytes.NewReader(csv.Bytes()), true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, d := range s.Registry().All() {
+			d.store.Close()
+		}
+	}
+	boot := func(b *testing.B, eager bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			store, err := persist.Open(dir, persist.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := New(0)
+			recovered, err := s.EnableDurability(store)
+			if err != nil || len(recovered) != datasets {
+				b.Fatalf("recovered %d datasets (err %v)", len(recovered), err)
+			}
+			if eager {
+				if err := s.MaterializeAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, d := range s.Registry().All() {
+				d.closeLazy()
+				d.store.Close()
+			}
+		}
+	}
+	b.Run("lazy", func(b *testing.B) { boot(b, false) })
+	b.Run("eager", func(b *testing.B) { boot(b, true) })
+}

@@ -129,15 +129,24 @@ func replayWAL(rel *relation.Relation, enc *relation.Encoder, recs []persist.WAL
 type RecoveredDataset struct {
 	Info
 	CheckpointGeneration int64 // generation of the checkpoint it started from
-	ReplayedRows         int   // rows re-applied from the WAL tail
+	ReplayedRows         int   // rows re-applied from the WAL tail (eager recovery)
 	DroppedRecords       int   // WAL records unusable against the checkpoint
+	// Lazy marks a dataset adopted without decoding its checkpoint: its WAL
+	// held nothing past the checkpointed generation, so the header state is
+	// the dataset state and the columns decode on first query access.
+	Lazy bool
 }
 
 // EnableDurability attaches a durability store to the service and recovers
-// every dataset in it: latest checkpoint, then WAL-tail replay (a torn
-// final record was already truncated by the store), then the same warm-up
-// registration performs — each dataset comes back at its exact pre-crash
-// rows and generation with a hot engine. It must be called before the
+// every dataset in it. Datasets whose WAL holds no records past their
+// checkpoint — every dataset after a graceful shutdown — are adopted
+// *lazily*: only the checkpoint header is read (O(open + header) per
+// dataset, with the column data mmapped for first access), so booting N
+// datasets costs O(N), not O(total bytes). A dataset with a pending WAL
+// tail recovers eagerly — checkpoint decode, WAL-tail replay (a torn final
+// record was already truncated by the store), then the same warm-up
+// registration performs — and comes back at its exact pre-crash rows and
+// generation with a hot engine. EnableDurability must be called before the
 // service starts serving (the daemon recovers at boot); after it returns,
 // registrations, appends and removals of every dataset are durable.
 func (s *Service) EnableDurability(store *persist.Store) ([]RecoveredDataset, error) {
@@ -151,18 +160,51 @@ func (s *Service) EnableDurability(store *persist.Store) ([]RecoveredDataset, er
 		if err != nil {
 			return out, fmt.Errorf("service: opening store for %q: %w", name, err)
 		}
-		ck, recs, err := ds.Load()
+		lck, recs, err := ds.LoadLazy()
 		if err != nil {
 			ds.Close()
 			return out, fmt.Errorf("service: loading %q: %w", name, err)
 		}
-		if ck == nil {
+		if lck == nil {
 			// A directory without a checkpoint is an interrupted registration:
 			// the dataset was never acknowledged, so there is nothing to
 			// recover. Drop the remains.
 			ds.Close()
 			_ = store.Remove(name)
 			continue
+		}
+		hdr := lck.Header()
+		if len(hdr.Attrs) == 0 {
+			lck.Close()
+			ds.Close()
+			return out, fmt.Errorf("service: checkpoint for %q has no attributes", name)
+		}
+		pending := false
+		for _, rec := range recs {
+			if rec.Generation > hdr.Generation {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			d, err := s.reg.adoptLazy(name, ds, lck, recs)
+			if err != nil {
+				lck.Close()
+				ds.Close()
+				return out, err
+			}
+			out = append(out, RecoveredDataset{
+				Info:                 d.Info(),
+				CheckpointGeneration: hdr.Generation,
+				Lazy:                 true,
+			})
+			continue
+		}
+		ck, err := lck.Materialize()
+		lck.Close()
+		if err != nil {
+			ds.Close()
+			return out, fmt.Errorf("service: loading %q: %w", name, err)
 		}
 		rel, enc, err := datasetFromCheckpoint(ck)
 		if err != nil {
@@ -199,6 +241,19 @@ func (s *Service) EnableDurability(store *persist.Store) ([]RecoveredDataset, er
 	return out, nil
 }
 
+// MaterializeAll forces every lazily recovered dataset to decode now — the
+// eager boot the lazy path replaced. The daemon's -eager-recovery flag (and
+// the boot benchmark's baseline) use it to trade boot time for first-query
+// latency.
+func (s *Service) MaterializeAll() error {
+	for _, d := range s.reg.All() {
+		if err := d.ensure(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Checkpoint folds the named dataset's current state into a fresh durable
 // checkpoint and compacts its WAL. The view and its matching dictionaries
 // are captured under the append lock (a few pointer loads and a dictionary
@@ -224,6 +279,12 @@ func (s *Service) Checkpoint(name string) (*CheckpointView, error) {
 // checkpointDataset writes one checkpoint for d (shared by the HTTP
 // endpoint, size-triggered compaction and shutdown).
 func (s *Service) checkpointDataset(d *Dataset) (*CheckpointView, error) {
+	// A manual checkpoint of a lazily recovered dataset materializes it
+	// first; the periodic/shutdown sweeps skip unmaterialized datasets
+	// instead (their on-disk state is already exactly current).
+	if err := d.ensure(); err != nil {
+		return nil, fmt.Errorf("service: checkpointing %q: %w: %w", d.Name, ErrStore, err)
+	}
 	d.appendMu.Lock()
 	view := d.View()
 	dicts := d.Enc.Dictionaries()
@@ -266,6 +327,12 @@ func (s *Service) CheckpointAll() []error {
 	var errs []error
 	for _, d := range s.reg.All() {
 		if d.store == nil {
+			continue
+		}
+		if !d.Materialized() {
+			// Never touched since its lazy adoption: the checkpoint on disk
+			// is the dataset, and its WAL tail is empty. Decoding it just to
+			// re-serialize the identical bytes would undo the lazy boot win.
 			continue
 		}
 		if _, err := s.checkpointDataset(d); err != nil {

@@ -52,6 +52,11 @@ type Dataset struct {
 	// WAL record before publishing the new view, and checkpoints fold the WAL
 	// into a fresh columnar snapshot file. Nil means in-memory only.
 	store *persist.DatasetStore
+	// lazy, when non-nil, holds the deferred recovery state of a dataset
+	// adopted from a clean checkpoint without decoding it: Rel, Enc and the
+	// view stay unset until the first query or append materializes them (see
+	// ensure). Info/List are served from the checkpoint header meanwhile.
+	lazy *lazyState
 	// compacting latches the one in-flight background checkpoint triggered by
 	// WAL growth, so a burst of appends cannot pile up compactions.
 	compacting atomic.Bool
@@ -60,8 +65,82 @@ type Dataset struct {
 	checkpoints atomic.Int64
 }
 
+// lazyState is the recovery work a lazily adopted dataset still owes: the
+// opened (header-only) checkpoint and the WAL tail to replay. once latches
+// materialization so concurrent first touches decode exactly once.
+type lazyState struct {
+	once sync.Once
+	ck   *persist.LazyCheckpoint
+	recs []persist.WALRecord
+	info Info
+	err  error
+}
+
 // Durable reports whether the dataset has a durability store attached.
 func (d *Dataset) Durable() bool { return d.store != nil }
+
+// Materialized reports whether the dataset's relation is decoded and its
+// view published. Only lazily recovered datasets can be unmaterialized.
+func (d *Dataset) Materialized() bool { return d.View() != nil }
+
+// ensure materializes a lazily recovered dataset on first touch: decode the
+// checkpoint columns (off the mmap when available), rebuild the relation and
+// encoder, replay the WAL tail, warm the engine, publish the view — exactly
+// the eager recovery path, deferred to the first query or append that needs
+// the rows. Safe for concurrent callers; after a failure every later call
+// returns the same error (the daemon surfaces it as a store failure).
+func (d *Dataset) ensure() error {
+	l := d.lazy
+	if l == nil {
+		return nil
+	}
+	l.once.Do(func() {
+		l.err = d.materialize(l)
+	})
+	return l.err
+}
+
+func (d *Dataset) materialize(l *lazyState) error {
+	ck, err := l.ck.Materialize()
+	if err != nil {
+		return fmt.Errorf("service: decoding checkpoint for %q: %w", d.Name, err)
+	}
+	rel, enc, err := datasetFromCheckpoint(ck)
+	if err != nil {
+		return err
+	}
+	if _, _, err := replayWAL(rel, enc, l.recs, ck.Generation); err != nil {
+		return fmt.Errorf("service: replaying WAL for %q: %w", d.Name, err)
+	}
+	for _, a := range rel.Attrs() {
+		if _, err := infotheory.Entropy(rel, a); err != nil {
+			return fmt.Errorf("service: warming recovered %q: %w", d.Name, err)
+		}
+	}
+	d.Rel, d.Enc = rel, enc
+	d.view.Store(rel.View())
+	l.ck.Close()
+	l.ck, l.recs = nil, nil
+	return nil
+}
+
+// closeLazy releases an unmaterialized dataset's checkpoint handle on
+// removal; it claims the materialization latch so a racing first touch
+// cannot decode a closed file.
+func (d *Dataset) closeLazy() {
+	l := d.lazy
+	if l == nil {
+		return
+	}
+	l.once.Do(func() {
+		l.err = fmt.Errorf("service: dataset %q removed", d.Name)
+	})
+	if l.ck != nil {
+		l.ck.Close()
+		l.ck = nil
+	}
+	l.recs = nil
+}
 
 // View returns the dataset's current frozen view: one atomic load, no locks.
 // The view is pinned to one snapshot generation and is safe for any number
@@ -78,9 +157,14 @@ type Info struct {
 }
 
 // Info returns the dataset's serializable summary, read off the current
-// frozen view (lock-free, one consistent generation).
+// frozen view (lock-free, one consistent generation). An unmaterialized
+// lazy dataset answers from its checkpoint header — by construction it has
+// no pending WAL tail, so the header state IS the dataset state.
 func (d *Dataset) Info() Info {
 	v := d.View()
+	if v == nil {
+		return d.lazy.info
+	}
 	return Info{
 		Name:         d.Name,
 		Rows:         v.N(),
@@ -90,8 +174,14 @@ func (d *Dataset) Info() Info {
 	}
 }
 
-// Generation returns the generation of the dataset's current view.
-func (d *Dataset) Generation() int64 { return d.View().Generation() }
+// Generation returns the generation of the dataset's current view (or of
+// its checkpoint header while unmaterialized — the two agree, see Info).
+func (d *Dataset) Generation() int64 {
+	if v := d.View(); v != nil {
+		return v.Generation()
+	}
+	return d.lazy.info.Generation
+}
 
 // Append dictionary-encodes a batch of string records and appends them to
 // the relation, extending the snapshot engine's memoized groupings
@@ -103,6 +193,11 @@ func (d *Dataset) Generation() int64 { return d.View().Generation() }
 // record cannot leave a half-applied append behind. Readers are never
 // blocked: requests in flight keep their old view.
 func (d *Dataset) Append(records [][]string, header bool) (added, dups, rows int, gen int64, err error) {
+	// A lazily recovered dataset materializes before its first append: the
+	// extension needs the live relation and encoder.
+	if err := d.ensure(); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("service: %w: %w", ErrStore, err)
+	}
 	d.appendMu.Lock()
 	defer d.appendMu.Unlock()
 	cur := d.View()
@@ -283,6 +378,40 @@ func (g *Registry) adopt(name string, rel *relation.Relation, enc *relation.Enco
 	return d, nil
 }
 
+// adoptLazy registers a dataset recovered from a clean checkpoint without
+// decoding it: only the header has been read, and the first query or append
+// materializes the rows (see Dataset.ensure). The checkpoint header state is
+// the dataset state — callers must only adopt lazily when the WAL holds no
+// records past the checkpointed generation.
+func (g *Registry) adoptLazy(name string, ds *persist.DatasetStore, lck *persist.LazyCheckpoint, recs []persist.WALRecord) (*Dataset, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, exists := g.byName[name]; exists {
+		return nil, fmt.Errorf("service: %w: %q", ErrAlreadyRegistered, name)
+	}
+	hdr := lck.Header()
+	g.nextID++
+	d := &Dataset{
+		ID:           g.nextID,
+		Name:         name,
+		RegisteredAt: time.Now(),
+		store:        ds,
+	}
+	d.lazy = &lazyState{
+		ck:   lck,
+		recs: recs,
+		info: Info{
+			Name:         name,
+			Rows:         hdr.Rows,
+			Attrs:        hdr.Attrs,
+			Generation:   hdr.Generation,
+			RegisteredAt: d.RegisteredAt.UTC().Format(time.RFC3339),
+		},
+	}
+	g.byName[name] = d
+	return d, nil
+}
+
 // Get returns the dataset registered under name.
 func (g *Registry) Get(name string) (*Dataset, bool) {
 	g.mu.RLock()
@@ -300,6 +429,7 @@ func (g *Registry) Remove(name string) (*Dataset, bool) {
 	d, ok := g.byName[name]
 	if ok {
 		delete(g.byName, name)
+		d.closeLazy()
 		if d.store != nil {
 			d.store.Close()
 			if g.store != nil {

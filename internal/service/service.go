@@ -217,6 +217,12 @@ func (s *Service) dataset(name string) (*Dataset, error) {
 	if !ok {
 		return nil, fmt.Errorf("service: %w %q", ErrUnknownDataset, name)
 	}
+	// First touch of a lazily recovered dataset decodes its checkpoint here
+	// (see Dataset.ensure); a decode failure is the store's fault, not the
+	// request's.
+	if err := d.ensure(); err != nil {
+		return nil, fmt.Errorf("service: %w: %w", ErrStore, err)
+	}
 	return d, nil
 }
 
