@@ -11,6 +11,7 @@
 //	ajdlossd [-addr :8347] [-cache 256] [-load name=path.csv ...]
 //	         [-watch name=path.csv ...] [-watch-interval 2s]
 //	         [-data dir] [-wal-compact bytes] [-fsync]
+//	         [-default-ns default] [-quota-datasets N] [-quota-rows N]
 //
 // -data enables durability: every dataset gets a binary columnar checkpoint
 // plus an append-only CRC-checked WAL under the directory, appends are
@@ -35,7 +36,12 @@
 // or lost to a deterministically failing chunk) are counted and exposed per
 // dataset as "skipped_lines" in /stats, not just logged.
 //
-// Endpoints (see internal/service.NewHandler):
+// Every dataset lives in a namespace. The versioned API scopes each route
+// by namespace and describes itself — GET /v1/namespaces, per-dataset
+// schemas at GET /v1/{ns}/datasets/{name}/schema, published JSON Schemas
+// under GET /v1/schemas/ that POST /v1/{ns}/batch validates against. The
+// legacy unversioned routes below are frozen aliases for the -default-ns
+// namespace (byte-identical responses):
 //
 //	GET    /healthz
 //	GET    /stats
@@ -47,6 +53,10 @@
 //	GET    /discover?dataset=X[&target=0.01][&maxsep=1]
 //	GET    /entropy?dataset=X&attrs=A,B | &a=A&b=B[&given=C]
 //	POST   /batch                             (JSON: many queries, one snapshot)
+//
+// -quota-datasets and -quota-rows cap every namespace created after boot
+// (0 = unlimited); requests over quota get HTTP 429 with a typed error.
+// See internal/service.NewHandler for the full /v1 route table.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // drain (up to a timeout) before the process exits.
@@ -110,11 +120,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	fsync := fs.Bool("fsync", false, "fsync the WAL on every append (power-failure durability)")
 	procs := fs.Int("procs", 0, "cap engine worker parallelism at this many goroutines (0 = GOMAXPROCS)")
 	eager := fs.Bool("eager-recovery", false, "decode every recovered dataset at boot instead of on first access")
+	defaultNS := fs.String("default-ns", "default", "namespace the legacy unversioned routes alias")
+	quotaDatasets := fs.Int64("quota-datasets", 0, "max datasets per namespace (0 = unlimited)")
+	quotaRows := fs.Int64("quota-rows", 0, "max total rows per namespace (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *procs < 0 {
 		return fmt.Errorf("-procs must be >= 0, got %d", *procs)
+	}
+	if *cacheSize < 0 {
+		return fmt.Errorf("-cache must be >= 0, got %d", *cacheSize)
+	}
+	if *quotaDatasets < 0 || *quotaRows < 0 {
+		return fmt.Errorf("quotas must be >= 0, got -quota-datasets %d -quota-rows %d", *quotaDatasets, *quotaRows)
+	}
+	if err := service.ValidateNamespace(*defaultNS); err != nil {
+		return fmt.Errorf("-default-ns: %w", err)
 	}
 	engine.SetMaxProcs(*procs)
 	if len(watches) > 0 && *watchEvery <= 0 {
@@ -125,9 +147,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	}
 
 	svc := service.New(*cacheSize)
+	svc.SetDefaultNamespace(*defaultNS)
+	svc.Registry().SetDefaultQuotas(service.Quotas{MaxDatasets: *quotaDatasets, MaxRows: *quotaRows})
 	durable := *dataDir != ""
 	if durable {
-		store, err := persist.Open(*dataDir, persist.Options{Sync: *fsync, CompactAt: *walCompact})
+		store, err := persist.Open(*dataDir, persist.Options{Sync: *fsync, CompactAt: *walCompact, DefaultNamespace: *defaultNS})
 		if err != nil {
 			return err
 		}
@@ -136,19 +160,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 			return fmt.Errorf("recovering datasets from %s: %w", *dataDir, err)
 		}
 		for _, r := range recovered {
+			// Log datasets outside the default namespace as "ns/name", the
+			// same qualified form /stats uses.
+			qname := r.Name
+			if r.Namespace != *defaultNS {
+				qname = r.Namespace + "/" + r.Name
+			}
 			if r.Lazy {
 				mode := "lazy: columns decode on first access"
 				if *eager {
 					mode = "materialized at boot (-eager-recovery)"
 				}
 				fmt.Fprintf(stderr, "recovered dataset %q: %d rows, generation %d (%s)\n",
-					r.Name, r.Rows, r.Generation, mode)
+					qname, r.Rows, r.Generation, mode)
 				continue
 			}
 			fmt.Fprintf(stderr, "recovered dataset %q: %d rows, generation %d (checkpoint %d + %d WAL rows)\n",
-				r.Name, r.Rows, r.Generation, r.CheckpointGeneration, r.ReplayedRows)
+				qname, r.Rows, r.Generation, r.CheckpointGeneration, r.ReplayedRows)
 			if r.DroppedRecords > 0 {
-				fmt.Fprintf(stderr, "recovered dataset %q: dropped %d unusable WAL records\n", r.Name, r.DroppedRecords)
+				fmt.Fprintf(stderr, "recovered dataset %q: dropped %d unusable WAL records\n", qname, r.DroppedRecords)
 			}
 		}
 		if *eager {

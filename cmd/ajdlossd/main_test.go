@@ -383,4 +383,69 @@ func TestDaemonBadFlags(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "duplicate attribute") {
 		t.Fatalf("malformed preload error = %v", err)
 	}
+	if err := run(ctx, []string{"-cache", "-1"}, io.Discard, io.Discard, nil); err == nil ||
+		!strings.Contains(err.Error(), "-cache") {
+		t.Fatalf("negative -cache accepted: %v", err)
+	}
+	if err := run(ctx, []string{"-quota-rows", "-5"}, io.Discard, io.Discard, nil); err == nil ||
+		!strings.Contains(err.Error(), "quota") {
+		t.Fatalf("negative -quota-rows accepted: %v", err)
+	}
+	if err := run(ctx, []string{"-default-ns", "Bad NS"}, io.Discard, io.Discard, nil); err == nil ||
+		!strings.Contains(err.Error(), "-default-ns") {
+		t.Fatalf("invalid -default-ns accepted: %v", err)
+	}
+}
+
+// TestDaemonNamespaceFlags: -default-ns points the legacy routes at a named
+// namespace and -quota-datasets/-quota-rows apply to every namespace, with
+// over-quota requests rejected as 429.
+func TestDaemonNamespaceFlags(t *testing.T) {
+	base, shutdown := startDaemon(t, "-default-ns", "tenant-x", "-quota-datasets", "2", "-quota-rows", "100")
+
+	if got := getJSON(t, base+"/v1/namespaces"); got["default"] != "tenant-x" {
+		t.Fatalf("default namespace: %v", got)
+	}
+	// The -load preload landed in the default namespace, so the legacy alias
+	// and /v1/tenant-x see the same dataset.
+	v1 := getJSON(t, base+"/v1/tenant-x/datasets")["datasets"].([]any)
+	if len(v1) != 1 || v1[0].(map[string]any)["name"] != "block" {
+		t.Fatalf("/v1/tenant-x/datasets: %v", v1)
+	}
+
+	post := func(path, body string) int {
+		resp, err := http.Post(base+path, "text/csv", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// Second dataset fits the 2-dataset quota; a third does not.
+	if code := post("/datasets?name=two", "A,B\n1,2\n"); code != http.StatusCreated {
+		t.Fatalf("second dataset: %d", code)
+	}
+	if code := post("/datasets?name=three", "A,B\n1,2\n"); code != http.StatusTooManyRequests {
+		t.Fatalf("over dataset quota: got %d, want 429", code)
+	}
+	// Another namespace gets its own fresh quota.
+	if code := post("/v1/other/datasets?name=three", "A,B\n1,2\n"); code != http.StatusCreated {
+		t.Fatalf("fresh namespace register: %d", code)
+	}
+	// 13 rows are in tenant-x; an append pushing past -quota-rows 100 is
+	// rejected and leaves the dataset untouched.
+	var big strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&big, "%d,%d,%d\n", 1000+i, 2000+i, 7)
+	}
+	if code := post("/datasets/block/append", big.String()); code != http.StatusTooManyRequests {
+		t.Fatalf("over row quota: got %d, want 429", code)
+	}
+	if got := getJSON(t, base+"/v1/tenant-x/stats"); got["rows"] != float64(13) {
+		t.Fatalf("rows after rejected append: %v", got["rows"])
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
 }

@@ -1,0 +1,406 @@
+// Package apischema declares the published, versioned JSON Schemas of the
+// /v1 HTTP API and validates request bodies against them.
+//
+// The service is self-describing: every schema in Published() is served at
+// GET /v1/schemas/{name}, and the /v1 batch and append handlers validate
+// their request bodies against exactly the documents they publish — a
+// programmatic client (or the future fan-out router) can fetch the schema,
+// build a request, and know that a 400 will name the offending field instead
+// of failing somewhere inside the engine with an unlocatable error.
+//
+// The Schema type is a deliberately small subset of JSON Schema draft
+// 2020-12 — types, required/properties/additionalProperties, items,
+// enum, oneOf, string/array length bounds, numeric ranges. That subset is
+// enough to describe every /v1 body exactly, and keeping the validator
+// dependency-free (and fuzzable: FuzzValidateBatch feeds it arbitrary
+// bytes) matters more than draft completeness.
+package apischema
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema is one JSON Schema document (the supported subset). Zero-valued
+// fields are omitted from the serialized document, so a Schema marshals to
+// exactly the keywords it uses.
+type Schema struct {
+	ID          string `json:"$id,omitempty"`
+	Dialect     string `json:"$schema,omitempty"`
+	Title       string `json:"title,omitempty"`
+	Description string `json:"description,omitempty"`
+
+	Type                 string             `json:"type,omitempty"`
+	Properties           map[string]*Schema `json:"properties,omitempty"`
+	Required             []string           `json:"required,omitempty"`
+	AdditionalProperties *bool              `json:"additionalProperties,omitempty"`
+	Items                *Schema            `json:"items,omitempty"`
+	Enum                 []string           `json:"enum,omitempty"`
+	OneOf                []*Schema          `json:"oneOf,omitempty"`
+	MinItems             *int               `json:"minItems,omitempty"`
+	MaxItems             *int               `json:"maxItems,omitempty"`
+	MinLength            *int               `json:"minLength,omitempty"`
+	Minimum              *float64           `json:"minimum,omitempty"`
+	Maximum              *float64           `json:"maximum,omitempty"`
+}
+
+// ValidationError reports the first schema violation found, naming the
+// offending field by its path inside the body ("queries[2].kind"). An empty
+// Path means the body's root value itself is wrong.
+type ValidationError struct {
+	Path    string
+	Message string
+}
+
+func (e *ValidationError) Error() string {
+	if e.Path == "" {
+		return "body: " + e.Message
+	}
+	return e.Path + ": " + e.Message
+}
+
+// Validate checks a decoded JSON value (the map/slice/string/json.Number/
+// bool/nil family produced by a json.Decoder with UseNumber) against the
+// schema and returns a *ValidationError naming the first offending field,
+// or nil when the value conforms.
+func (s *Schema) Validate(v any) error {
+	return s.validate(v, "")
+}
+
+// ValidateJSON decodes raw bytes (numbers kept literal via UseNumber, and
+// trailing content after the first value rejected) and validates the result.
+func (s *Schema) ValidateJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return &ValidationError{Message: fmt.Sprintf("invalid JSON: %v", err)}
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err == nil || dec.More() {
+		return &ValidationError{Message: "trailing data after JSON body"}
+	}
+	return s.Validate(v)
+}
+
+func (s *Schema) validate(v any, path string) error {
+	if len(s.OneOf) > 0 {
+		// When a branch fails somewhere *inside* the value (a deeper path than
+		// the oneOf's own), that branch structurally matched and the inner
+		// error names the real offending field — report it verbatim instead
+		// of a vague "matches none of the forms".
+		var firsts []string
+		var deepest *ValidationError
+		for _, sub := range s.OneOf {
+			err := sub.validate(v, path)
+			if err == nil {
+				return nil
+			}
+			ve := err.(*ValidationError)
+			if len(ve.Path) > len(path) && (deepest == nil || len(ve.Path) > len(deepest.Path)) {
+				deepest = ve
+			}
+			firsts = append(firsts, ve.Message)
+		}
+		if deepest != nil {
+			return deepest
+		}
+		return &ValidationError{Path: path, Message: fmt.Sprintf(
+			"matches none of the %d allowed forms (%s)", len(s.OneOf), strings.Join(firsts, "; "))}
+	}
+	if s.Type != "" {
+		got := typeName(v)
+		if got != s.Type && !(s.Type == "number" && got == "integer") {
+			return &ValidationError{Path: path, Message: fmt.Sprintf("want %s, got %s", s.Type, got)}
+		}
+	}
+	if len(s.Enum) > 0 {
+		str, ok := v.(string)
+		if !ok {
+			return &ValidationError{Path: path, Message: fmt.Sprintf("want one of %s, got %s", enumList(s.Enum), typeName(v))}
+		}
+		found := false
+		for _, e := range s.Enum {
+			if e == str {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return &ValidationError{Path: path, Message: fmt.Sprintf("%q is not one of %s", str, enumList(s.Enum))}
+		}
+	}
+	switch val := v.(type) {
+	case map[string]any:
+		for _, req := range s.Required {
+			if _, ok := val[req]; !ok {
+				return &ValidationError{Path: joinPath(path, req), Message: "required field is missing"}
+			}
+		}
+		if s.AdditionalProperties != nil && !*s.AdditionalProperties {
+			// Report unknown fields deterministically (lowest name first).
+			var unknown []string
+			for k := range val {
+				if _, ok := s.Properties[k]; !ok {
+					unknown = append(unknown, k)
+				}
+			}
+			if len(unknown) > 0 {
+				sort.Strings(unknown)
+				return &ValidationError{Path: joinPath(path, unknown[0]), Message: "unknown field"}
+			}
+		}
+		// Properties in sorted order, so the first error is deterministic.
+		names := make([]string, 0, len(s.Properties))
+		for k := range s.Properties {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			pv, ok := val[k]
+			if !ok {
+				continue
+			}
+			if err := s.Properties[k].validate(pv, joinPath(path, k)); err != nil {
+				return err
+			}
+		}
+	case []any:
+		if s.MinItems != nil && len(val) < *s.MinItems {
+			return &ValidationError{Path: path, Message: fmt.Sprintf("want at least %d items, got %d", *s.MinItems, len(val))}
+		}
+		if s.MaxItems != nil && len(val) > *s.MaxItems {
+			return &ValidationError{Path: path, Message: fmt.Sprintf("want at most %d items, got %d", *s.MaxItems, len(val))}
+		}
+		if s.Items != nil {
+			for i, item := range val {
+				if err := s.Items.validate(item, path+"["+strconv.Itoa(i)+"]"); err != nil {
+					return err
+				}
+			}
+		}
+	case string:
+		if s.MinLength != nil && len(val) < *s.MinLength {
+			return &ValidationError{Path: path, Message: fmt.Sprintf("want at least %d characters, got %d", *s.MinLength, len(val))}
+		}
+	case json.Number:
+		if s.Minimum != nil || s.Maximum != nil {
+			f, err := val.Float64()
+			if err != nil {
+				return &ValidationError{Path: path, Message: fmt.Sprintf("unparseable number %q", val.String())}
+			}
+			if s.Minimum != nil && f < *s.Minimum {
+				return &ValidationError{Path: path, Message: fmt.Sprintf("%v is below the minimum %v", f, *s.Minimum)}
+			}
+			if s.Maximum != nil && f > *s.Maximum {
+				return &ValidationError{Path: path, Message: fmt.Sprintf("%v is above the maximum %v", f, *s.Maximum)}
+			}
+		}
+	}
+	return nil
+}
+
+// typeName maps a decoded JSON value onto its JSON Schema type name.
+func typeName(v any) string {
+	switch n := v.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case json.Number:
+		if _, err := n.Int64(); err == nil {
+			return "integer"
+		}
+		return "number"
+	case float64: // plain json.Unmarshal without UseNumber
+		return "number"
+	case bool:
+		return "boolean"
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+func joinPath(path, field string) string {
+	if path == "" {
+		return field
+	}
+	return path + "." + field
+}
+
+func enumList(enum []string) string {
+	quoted := make([]string, len(enum))
+	for i, e := range enum {
+		quoted[i] = strconv.Quote(e)
+	}
+	return "[" + strings.Join(quoted, ", ") + "]"
+}
+
+func intp(v int) *int      { return &v }
+func boolp(v bool) *bool   { return &v }
+func strings1() *Schema    { return &Schema{Type: "string", MinLength: intp(1)} }
+func stringArray() *Schema { return &Schema{Type: "array", Items: strings1()} }
+
+// dialect is the JSON Schema draft every published document declares.
+const dialect = "https://json-schema.org/draft/2020-12/schema"
+
+// MaxBatchQueries is the published ceiling on one batch body's query list;
+// the service enforces the same number, and a test pins the two together.
+const MaxBatchQueries = 1024
+
+// Kinds are the batch query kinds the /v1 API accepts. The legacy /batch
+// route additionally tolerates case variants; /v1 is strict so the schema
+// can be honest.
+var Kinds = []string{"cmi", "conditional_entropy", "distinct", "entropy", "fd", "mi"}
+
+// BatchRequest is the schema of a POST /v1/{ns}/batch body (also served at
+// /v1/schemas/batch_request). The v1 handler validates bodies against
+// exactly this document.
+func BatchRequest() *Schema {
+	query := &Schema{
+		Type: "object",
+		Description: "One measure against the shared snapshot. kind selects which fields are read: " +
+			"entropy/conditional_entropy use attrs (+given), mi/cmi use a and b (+given), fd uses x and y, distinct uses attrs.",
+		Properties: map[string]*Schema{
+			"kind":  {Type: "string", Enum: Kinds},
+			"attrs": stringArray(),
+			"given": stringArray(),
+			"a":     stringArray(),
+			"b":     stringArray(),
+			"x":     stringArray(),
+			"y":     stringArray(),
+		},
+		Required:             []string{"kind"},
+		AdditionalProperties: boolp(false),
+	}
+	return &Schema{
+		ID:      "/v1/schemas/batch_request",
+		Dialect: dialect,
+		Title:   "Batch query request",
+		Description: "POST /v1/{ns}/batch body: a set of entropy/mi/cmi/fd/distinct queries answered " +
+			"against one consistent snapshot of the named dataset.",
+		Type: "object",
+		Properties: map[string]*Schema{
+			"dataset": strings1(),
+			"queries": {
+				Type:     "array",
+				Items:    query,
+				MinItems: intp(1),
+				MaxItems: intp(MaxBatchQueries),
+			},
+		},
+		Required:             []string{"dataset", "queries"},
+		AdditionalProperties: boolp(false),
+	}
+}
+
+// AppendRequest is the schema of a JSON POST /v1/{ns}/datasets/{name}/append
+// body: either a bare array of rows or {"rows": [...]}; each row is an array
+// of strings and/or numbers (numbers keep their literal text, exactly as CSV
+// cells would).
+func AppendRequest() *Schema {
+	row := &Schema{
+		Type:     "array",
+		Items:    &Schema{OneOf: []*Schema{{Type: "string"}, {Type: "number"}}},
+		MinItems: intp(1),
+	}
+	rows := &Schema{Type: "array", Items: row}
+	return &Schema{
+		ID:      "/v1/schemas/append_request",
+		Dialect: dialect,
+		Title:   "Append rows request (JSON form)",
+		Description: "JSON body of POST /v1/{ns}/datasets/{name}/append: a bare array of rows, or an " +
+			"object with a rows array. CSV bodies are accepted too and are not schema-validated.",
+		OneOf: []*Schema{
+			rows,
+			{
+				Type:                 "object",
+				Properties:           map[string]*Schema{"rows": rows},
+				Required:             []string{"rows"},
+				AdditionalProperties: boolp(false),
+			},
+		},
+	}
+}
+
+// ErrorEnvelope is the shape of every non-2xx response, including the JSON
+// 404/405 fallbacks for unmatched routes.
+func ErrorEnvelope() *Schema {
+	return &Schema{
+		ID:          "/v1/schemas/error",
+		Dialect:     dialect,
+		Title:       "Error envelope",
+		Description: "Every non-2xx response body, including unmatched-route 404s and wrong-method 405s.",
+		Type:        "object",
+		Properties: map[string]*Schema{
+			"error": strings1(),
+		},
+		Required: []string{"error"},
+	}
+}
+
+// DatasetSchema describes the response of GET /v1/{ns}/datasets/{name}/schema
+// — the self-description a client reads before composing batch queries.
+func DatasetSchema() *Schema {
+	return &Schema{
+		ID:      "/v1/schemas/dataset_schema",
+		Dialect: dialect,
+		Title:   "Dataset self-description",
+		Description: "GET /v1/{ns}/datasets/{name}/schema response: the attributes (with per-attribute " +
+			"distinct counts read off the warm engine groupings), row count, generation, and the measures " +
+			"a batch query may ask for.",
+		Type: "object",
+		Properties: map[string]*Schema{
+			"namespace":  strings1(),
+			"dataset":    strings1(),
+			"rows":       {Type: "integer", Minimum: float64p(0)},
+			"generation": {Type: "integer", Minimum: float64p(1)},
+			"attributes": {
+				Type: "array",
+				Items: &Schema{
+					Type: "object",
+					Properties: map[string]*Schema{
+						"name":     strings1(),
+						"distinct": {Type: "integer", Minimum: float64p(1)},
+					},
+					Required: []string{"name", "distinct"},
+				},
+			},
+			"measures": {Type: "array", Items: &Schema{Type: "string", Enum: Kinds}},
+		},
+		Required: []string{"namespace", "dataset", "rows", "generation", "attributes", "measures"},
+	}
+}
+
+func float64p(v float64) *float64 { return &v }
+
+// Published returns every schema the API serves under GET /v1/schemas/{name},
+// keyed by name. The map is rebuilt per call — callers may not mutate shared
+// documents.
+func Published() map[string]*Schema {
+	return map[string]*Schema{
+		"batch_request":  BatchRequest(),
+		"append_request": AppendRequest(),
+		"error":          ErrorEnvelope(),
+		"dataset_schema": DatasetSchema(),
+	}
+}
+
+// Names lists the published schema names, sorted.
+func Names() []string {
+	m := Published()
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,162 @@
+package apischema
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBatchRequestValid(t *testing.T) {
+	bodies := []string{
+		`{"dataset":"d","queries":[{"kind":"entropy","attrs":["A","B"]}]}`,
+		`{"dataset":"d","queries":[{"kind":"mi","a":["A"],"b":["B"],"given":["C"]}]}`,
+		`{"dataset":"d","queries":[{"kind":"fd","x":["A"],"y":["B"]},{"kind":"distinct","attrs":["C"]}]}`,
+		`{"dataset":"d","queries":[{"kind":"conditional_entropy","attrs":["A"],"given":["B"]},{"kind":"cmi","a":["A"],"b":["B"]}]}`,
+	}
+	s := BatchRequest()
+	for _, body := range bodies {
+		if err := s.ValidateJSON([]byte(body)); err != nil {
+			t.Errorf("valid body rejected: %v\n%s", err, body)
+		}
+	}
+}
+
+// TestBatchRequestViolations is the satellite acceptance check in unit form:
+// every violation must 400 with an error that names the offending field.
+func TestBatchRequestViolations(t *testing.T) {
+	cases := []struct {
+		body     string
+		wantPath string // substring the error must contain (the named field)
+	}{
+		{`{"queries":[{"kind":"entropy"}]}`, "dataset"},
+		{`{"dataset":"d"}`, "queries"},
+		{`{"dataset":"d","queries":[]}`, "queries"},
+		{`{"dataset":"d","queries":[{"attrs":["A"]}]}`, "queries[0].kind"},
+		{`{"dataset":"d","queries":[{"kind":"entropy"},{"kind":"MI","a":["A"],"b":["B"]}]}`, "queries[1].kind"},
+		{`{"dataset":"d","queries":[{"kind":"bogus"}]}`, "queries[0].kind"},
+		{`{"dataset":"d","queries":[{"kind":"entropy","attrs":"A"}]}`, "queries[0].attrs"},
+		{`{"dataset":"d","queries":[{"kind":"entropy","attrs":[1]}]}`, "queries[0].attrs[0]"},
+		{`{"dataset":"d","queries":[{"kind":"entropy","attrs":[""]}]}`, "queries[0].attrs[0]"},
+		{`{"dataset":"d","queries":[{"kind":"entropy","extra":1}]}`, "queries[0].extra"},
+		{`{"dataset":7,"queries":[{"kind":"entropy"}]}`, "dataset"},
+		{`{"dataset":"d","queries":[{"kind":"entropy"}],"more":true}`, "more"},
+		{`[]`, "want object"},
+		{`null`, "want object"},
+		{`{"dataset":"d","queries":[{"kind":"entropy"}]}garbage`, "trailing data"},
+		{`{`, "invalid JSON"},
+	}
+	s := BatchRequest()
+	for _, c := range cases {
+		err := s.ValidateJSON([]byte(c.body))
+		if err == nil {
+			t.Errorf("accepted invalid body: %s", c.body)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantPath) {
+			t.Errorf("error %q does not name %q for body %s", err, c.wantPath, c.body)
+		}
+	}
+}
+
+func TestBatchRequestMaxQueries(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`{"dataset":"d","queries":[`)
+	for i := 0; i <= MaxBatchQueries; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"kind":"entropy","attrs":["A"]}`)
+	}
+	sb.WriteString(`]}`)
+	err := BatchRequest().ValidateJSON([]byte(sb.String()))
+	if err == nil || !strings.Contains(err.Error(), "queries") {
+		t.Fatalf("oversized batch not rejected on queries: %v", err)
+	}
+}
+
+func TestAppendRequest(t *testing.T) {
+	s := AppendRequest()
+	for _, body := range []string{
+		`[["1","2"],["3",4]]`,
+		`{"rows":[["1","2"]]}`,
+		`[[1.5,"x"]]`,
+	} {
+		if err := s.ValidateJSON([]byte(body)); err != nil {
+			t.Errorf("valid append body rejected: %v\n%s", err, body)
+		}
+	}
+	for _, c := range []struct{ body, want string }{
+		{`{"row":[["1"]]}`, "rows"}, // misspelled key -> the object form's missing field
+		{`[["1",true]]`, "[0][1]"},  // boolean cell, names the cell
+		{`[[]]`, "[0]"},             // empty row
+		{`"csv,please"`, "forms"},   // not JSON rows at all
+	} {
+		err := s.ValidateJSON([]byte(c.body))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error %v does not name %q for body %s", err, c.want, c.body)
+		}
+	}
+}
+
+// TestPublishedMarshal pins that every published schema serializes to a
+// deterministic, self-identified JSON Schema document.
+func TestPublishedMarshal(t *testing.T) {
+	for name, s := range Published() {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if doc["$id"] != "/v1/schemas/"+name {
+			t.Errorf("%s: $id = %v, want /v1/schemas/%s", name, doc["$id"], name)
+		}
+		if doc["$schema"] != dialect {
+			t.Errorf("%s: $schema = %v", name, doc["$schema"])
+		}
+		again, err := json.Marshal(s)
+		if err != nil || string(again) != string(data) {
+			t.Errorf("%s: marshal not deterministic", name)
+		}
+	}
+	if len(Names()) != len(Published()) {
+		t.Fatal("Names and Published disagree")
+	}
+}
+
+// FuzzValidateBatch feeds arbitrary bytes into the /v1 batch validator: it
+// must classify them (invalid JSON, schema violation, or valid) without
+// panicking, and anything it accepts must decode as a well-formed batch.
+func FuzzValidateBatch(f *testing.F) {
+	f.Add([]byte(`{"dataset":"d","queries":[{"kind":"entropy","attrs":["A"]}]}`))
+	f.Add([]byte(`{"dataset":"d","queries":[{"kind":"fd","x":["A"],"y":["B"]}]}`))
+	f.Add([]byte(`{"queries":[{"kind":"zzz"}]}`))
+	f.Add([]byte(`[[["deep"]]]`))
+	f.Add([]byte(`{"dataset":1e309,"queries":null}`))
+	f.Add([]byte("\x00\xff{"))
+	s := BatchRequest()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := s.ValidateJSON(data)
+		if err == nil {
+			// Accepted: the typed decode the handler performs next must work.
+			var req struct {
+				Dataset string `json:"dataset"`
+				Queries []struct {
+					Kind string `json:"kind"`
+				} `json:"queries"`
+			}
+			if jerr := json.Unmarshal(data, &req); jerr != nil {
+				t.Fatalf("validator accepted bytes the typed decode rejects: %v", jerr)
+			}
+			if req.Dataset == "" || len(req.Queries) == 0 {
+				t.Fatalf("validator accepted a body missing dataset or queries: %s", data)
+			}
+			return
+		}
+		if _, ok := err.(*ValidationError); !ok {
+			t.Fatalf("non-ValidationError %T: %v", err, err)
+		}
+	})
+}

@@ -28,7 +28,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			ds, err := store.Dataset("d")
+			ds, err := store.Dataset("default", "d")
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -74,7 +74,7 @@ func BenchmarkCheckpointWrite(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ds, err := store.Dataset("d")
+	ds, err := store.Dataset("default", "d")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func BenchmarkWALLoad(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ds, err := store.Dataset("d")
+	ds, err := store.Dataset("default", "d")
 	if err != nil {
 		b.Fatal(err)
 	}

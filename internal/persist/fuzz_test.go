@@ -19,14 +19,14 @@ func FuzzWALLoad(f *testing.F) {
 		if err != nil {
 			f.Fatal(err)
 		}
-		ds, err := store.Dataset("seed")
+		ds, err := store.Dataset("default", "seed")
 		if err != nil {
 			f.Fatal(err)
 		}
 		ds.AppendWAL(2, [][]string{{"a", "b"}, {"c", ""}})
 		ds.AppendWAL(3, [][]string{{"multi\nline", "x,y"}})
 		ds.Close()
-		valid, err = os.ReadFile(filepath.Join(dir, "seed", walFile))
+		valid, err = os.ReadFile(filepath.Join(dir, "default", "seed", walFile))
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -41,11 +41,11 @@ func FuzzWALLoad(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ds, err := store.Dataset("d")
+		ds, err := store.Dataset("default", "d")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, "d", walFile), data, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, "default", "d", walFile), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		_, recs, err := ds.Load()

@@ -4,11 +4,19 @@
 // killed at any instant and recover every dataset to its exact pre-kill
 // rows and generation instead of paying a cold full re-ingest.
 //
-// Layout under the store's root directory (one subdirectory per dataset,
-// name-encoded so arbitrary dataset names cannot escape or collide):
+// Layout under the store's root directory (one subdirectory per namespace,
+// one per dataset inside it, both name-encoded so arbitrary names cannot
+// escape or collide):
 //
-//	<root>/<dataset>/checkpoint.ckpt   latest checkpoint (atomic tmp+rename)
-//	<root>/<dataset>/wal.log           row batches appended since then
+//	<root>/<namespace>/<dataset>/checkpoint.ckpt   latest checkpoint (atomic tmp+rename)
+//	<root>/<namespace>/<dataset>/wal.log           row batches appended since then
+//
+// Stores written before namespaces existed kept dataset directories at the
+// root; Open migrates them (one os.Rename each) into the configured default
+// namespace exactly once. A root-level directory is a legacy dataset iff it
+// directly holds a checkpoint or WAL file — namespace directories hold only
+// subdirectories — so the migration cannot misfire on an already-migrated
+// store.
 //
 // The write path mirrors the engine's copy-on-write read path: a WAL record
 // is appended (one write syscall, CRC-checked) *before* the in-memory append
@@ -50,6 +58,11 @@ type Options struct {
 	// into a fresh checkpoint in the background. Zero means DefaultCompactAt;
 	// negative disables size-triggered compaction.
 	CompactAt int64
+	// DefaultNamespace is where Open migrates pre-namespace dataset
+	// directories found at the store root. Empty means "default". It should
+	// match the namespace the daemon aliases its legacy routes to, so old
+	// data stays reachable at its old URLs after the upgrade.
+	DefaultNamespace string
 }
 
 // Store manages the durability directory: one DatasetStore per dataset.
@@ -60,7 +73,9 @@ type Store struct {
 	compactAt int64
 }
 
-// Open creates (if needed) and opens a durability store rooted at dir.
+// Open creates (if needed) and opens a durability store rooted at dir,
+// migrating any pre-namespace dataset directories into the default
+// namespace first.
 func Open(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("persist: empty store directory")
@@ -72,7 +87,50 @@ func Open(dir string, opts Options) (*Store, error) {
 	if compactAt == 0 {
 		compactAt = DefaultCompactAt
 	}
+	defaultNS := opts.DefaultNamespace
+	if defaultNS == "" {
+		defaultNS = "default"
+	}
+	if err := migrateLegacyLayout(dir, defaultNS); err != nil {
+		return nil, err
+	}
 	return &Store{dir: dir, sync: opts.Sync, compactAt: compactAt}, nil
+}
+
+// migrateLegacyLayout moves pre-namespace dataset directories (direct
+// children of the root that hold a checkpoint or WAL file) under the default
+// namespace. Each migration is one rename; a crash mid-migration leaves some
+// datasets moved and some not, and the next Open finishes the job.
+func migrateLegacyLayout(dir, defaultNS string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("persist: listing store: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, ok := decodeName(e.Name()); !ok {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		if !fileExists(filepath.Join(sub, checkpointFile)) && !fileExists(filepath.Join(sub, walFile)) {
+			continue // namespace dir (or empty leftover), not a legacy dataset
+		}
+		nsDir := filepath.Join(dir, encodeName(defaultNS))
+		if err := os.MkdirAll(nsDir, 0o755); err != nil {
+			return fmt.Errorf("persist: creating namespace directory: %w", err)
+		}
+		if err := os.Rename(sub, filepath.Join(nsDir, e.Name())); err != nil {
+			return fmt.Errorf("persist: migrating legacy dataset %q: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+func fileExists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && !fi.IsDir()
 }
 
 // Dir returns the store's root directory.
@@ -82,10 +140,9 @@ func (s *Store) Dir() string { return s.dir }
 // or a non-positive value when size-triggered compaction is disabled.
 func (s *Store) CompactAt() int64 { return s.compactAt }
 
-// List returns the names of every dataset with a directory in the store,
-// sorted. Directories whose names do not decode (stray files, manual edits)
-// are skipped.
-func (s *Store) List() ([]string, error) {
+// Namespaces returns the names of every namespace with a directory in the
+// store, sorted. Directories whose names do not decode are skipped.
+func (s *Store) Namespaces() ([]string, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("persist: listing store: %w", err)
@@ -103,12 +160,39 @@ func (s *Store) List() ([]string, error) {
 	return names, nil
 }
 
-// Dataset opens (creating if needed) the per-dataset store for name.
-func (s *Store) Dataset(name string) (*DatasetStore, error) {
+// List returns the names of every dataset with a directory under the given
+// namespace, sorted. A namespace with no directory yet lists empty.
+func (s *Store) List(ns string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, encodeName(ns)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("persist: listing namespace %q: %w", ns, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if name, ok := decodeName(e.Name()); ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Dataset opens (creating if needed) the per-dataset store for name inside
+// the given namespace.
+func (s *Store) Dataset(ns, name string) (*DatasetStore, error) {
+	if ns == "" {
+		return nil, fmt.Errorf("persist: empty namespace")
+	}
 	if name == "" {
 		return nil, fmt.Errorf("persist: empty dataset name")
 	}
-	dir := filepath.Join(s.dir, encodeName(name))
+	dir := filepath.Join(s.dir, encodeName(ns), encodeName(name))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: creating dataset directory: %w", err)
 	}
@@ -124,9 +208,10 @@ func (s *Store) Dataset(name string) (*DatasetStore, error) {
 }
 
 // Remove deletes the dataset's directory (checkpoint and WAL). Callers must
-// Close the DatasetStore first.
-func (s *Store) Remove(name string) error {
-	return os.RemoveAll(filepath.Join(s.dir, encodeName(name)))
+// Close the DatasetStore first. The namespace directory itself stays — an
+// empty namespace is cheap and a concurrent Dataset may be recreating it.
+func (s *Store) Remove(ns, name string) error {
+	return os.RemoveAll(filepath.Join(s.dir, encodeName(ns), encodeName(name)))
 }
 
 // encodeName maps a dataset name to a filesystem-safe directory name.

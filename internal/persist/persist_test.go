@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"encoding/hex"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -31,7 +32,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := store.Dataset("flights")
+	ds, err := store.Dataset("default", "flights")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestWALAppendLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := store.Dataset("d")
+	ds, err := store.Dataset("default", "d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestWALAppendLoad(t *testing.T) {
 		t.Fatal("WALBytes did not grow")
 	}
 	// Reopen cold, as recovery would.
-	ds2, err := store.Dataset("d")
+	ds2, err := store.Dataset("default", "d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestWALTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := store.Dataset("d")
+	ds, err := store.Dataset("default", "d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestWALTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds.Close()
-	walPath := filepath.Join(dir, "d", walFile)
+	walPath := filepath.Join(dir, "default", "d", walFile)
 	full, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -164,11 +165,11 @@ func TestWALTornTail(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sd, err := st.Dataset("d")
+		sd, err := st.Dataset("default", "d")
 		if err != nil {
 			t.Fatal(err)
 		}
-		subWAL := filepath.Join(sub, "d", walFile)
+		subWAL := filepath.Join(sub, "default", "d", walFile)
 		if err := os.WriteFile(subWAL, full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -203,7 +204,7 @@ func TestWALTornTail(t *testing.T) {
 			t.Fatal(err)
 		}
 		sd.Close()
-		sd2, err := st.Dataset("d")
+		sd2, err := st.Dataset("default", "d")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -225,7 +226,7 @@ func TestCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := store.Dataset("d")
+	ds, err := store.Dataset("default", "d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestLoadWithoutCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := store.Dataset("d")
+	ds, err := store.Dataset("default", "d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,13 +290,13 @@ func TestStoreListAndRemove(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"plain", "we/ird na:me", "x-prefixed", ".."} {
-		ds, err := store.Dataset(name)
+		ds, err := store.Dataset("default", name)
 		if err != nil {
 			t.Fatalf("Dataset(%q): %v", name, err)
 		}
 		ds.Close()
 	}
-	names, err := store.List()
+	names, err := store.List("default")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,12 +304,121 @@ func TestStoreListAndRemove(t *testing.T) {
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("List = %v, want %v", names, want)
 	}
-	if err := store.Remove("we/ird na:me"); err != nil {
+	if err := store.Remove("default", "we/ird na:me"); err != nil {
 		t.Fatal(err)
 	}
-	names, _ = store.List()
+	names, _ = store.List("default")
 	if len(names) != 3 {
 		t.Fatalf("after Remove: %v", names)
+	}
+}
+
+// TestStoreNamespaces pins that datasets in different namespaces are fully
+// disjoint on disk: same dataset name, independent WALs, independent Remove.
+func TestStoreNamespaces(t *testing.T) {
+	store, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := store.Dataset("tenant-a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.Dataset("Tenant B", "d") // unsafe ns name -> hex-encoded dir
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AppendWAL(2, [][]string{{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendWAL(2, [][]string{{"b1"}, {"b2"}}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b.Close()
+	nss, err := store.Namespaces()
+	if err != nil || !reflect.DeepEqual(nss, []string{"Tenant B", "tenant-a"}) {
+		t.Fatalf("Namespaces = %v (%v)", nss, err)
+	}
+	if err := store.Remove("tenant-a", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := store.List("tenant-a"); len(names) != 0 {
+		t.Fatalf("tenant-a still lists %v", names)
+	}
+	b2, err := store.Dataset("Tenant B", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	_, recs, err := b2.Load()
+	if err != nil || len(recs) != 1 || len(recs[0].Records) != 2 {
+		t.Fatalf("tenant B records damaged by tenant-a removal: %v %v", recs, err)
+	}
+}
+
+// TestMigrateLegacyLayout covers the one-time upgrade: a store written
+// before namespaces (dataset dirs at the root) reopens with every dataset
+// moved under the default namespace, bytes intact, and a second Open is a
+// no-op.
+func TestMigrateLegacyLayout(t *testing.T) {
+	dir := t.TempDir()
+	// Build a legacy layout by hand: <root>/<dataset>/{checkpoint.ckpt,wal.log}.
+	mkLegacy := func(encoded string, withCkpt bool) {
+		sub := filepath.Join(dir, encoded)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, walFile), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if withCkpt {
+			if err := os.WriteFile(filepath.Join(sub, checkpointFile), []byte("stub"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mkLegacy("flights", true)
+	mkLegacy("x-"+hex.EncodeToString([]byte("We/ird")), false)
+	// A stray file and an undecodable directory must be left alone.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "UPPER"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := Open(dir, Options{DefaultNamespace: "default"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.List("default")
+	if err != nil || !reflect.DeepEqual(names, []string{"We/ird", "flights"}) {
+		t.Fatalf("migrated List = %v (%v)", names, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "flights")); !os.IsNotExist(err) {
+		t.Fatalf("legacy dir not moved: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "default", "flights", checkpointFile))
+	if err != nil || string(data) != "stub" {
+		t.Fatalf("checkpoint bytes damaged by migration: %q %v", data, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "UPPER")); err != nil {
+		t.Fatalf("undecodable dir touched: %v", err)
+	}
+
+	// Reopen: already-migrated store must be stable (the default namespace
+	// dir holds only subdirectories, so it cannot be mistaken for a dataset).
+	if _, err := Open(dir, Options{DefaultNamespace: "default"}); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err = store2.List("default")
+	if err != nil || !reflect.DeepEqual(names, []string{"We/ird", "flights"}) {
+		t.Fatalf("List after reopen = %v (%v)", names, err)
 	}
 }
 

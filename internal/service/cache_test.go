@@ -14,24 +14,24 @@ func has(c *lruCache, key string) bool {
 // *used* goes first, where both Get and a refreshing Add count as use.
 func TestLRUEvictionOrder(t *testing.T) {
 	c := newLRUCache(3)
-	c.Add("a", 1)
-	c.Add("b", 2)
-	c.Add("c", 3)
+	c.Add("a", 1, "", 0)
+	c.Add("b", 2, "", 0)
+	c.Add("c", 3, "", 0)
 	// Recency now c > b > a. Touch a via Get, then b via refreshing Add:
 	// recency b > a > c.
 	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	c.Add("b", 20)
-	c.Add("d", 4) // evicts c (LRU)
+	c.Add("b", 20, "", 0)
+	c.Add("d", 4, "", 0) // evicts c (LRU)
 	if has(c, "c") {
 		t.Fatal("c should have been evicted first")
 	}
-	c.Add("e", 5) // evicts a
+	c.Add("e", 5, "", 0) // evicts a
 	if has(c, "a") {
 		t.Fatal("a should have been evicted second")
 	}
-	c.Add("f", 6) // evicts b
+	c.Add("f", 6, "", 0) // evicts b
 	if has(c, "b") {
 		t.Fatal("b should have been evicted third")
 	}
@@ -48,11 +48,11 @@ func TestLRUEvictionOrder(t *testing.T) {
 // TestLRUCapacityOne: a single-slot cache holds exactly the last-used entry.
 func TestLRUCapacityOne(t *testing.T) {
 	c := newLRUCache(1)
-	c.Add("a", 1)
+	c.Add("a", 1, "", 0)
 	if v, ok := c.Get("a"); !ok || v != 1 {
 		t.Fatalf("a = %v, %v", v, ok)
 	}
-	c.Add("b", 2) // evicts a
+	c.Add("b", 2, "", 0) // evicts a
 	if has(c, "a") {
 		t.Fatal("a survived in a capacity-1 cache")
 	}
@@ -60,7 +60,7 @@ func TestLRUCapacityOne(t *testing.T) {
 		t.Fatalf("b = %v, %v", v, ok)
 	}
 	// Refreshing the sole entry must not evict it.
-	c.Add("b", 20)
+	c.Add("b", 20, "", 0)
 	if v, ok := c.Get("b"); !ok || v != 20 || c.Len() != 1 {
 		t.Fatalf("refreshed b = %v, %v, len %d", v, ok, c.Len())
 	}
@@ -71,8 +71,8 @@ func TestLRUCapacityOne(t *testing.T) {
 // this to run in coalescing-only mode.
 func TestLRUCapacityZero(t *testing.T) {
 	c := newLRUCache(0)
-	c.Add("a", 1)
-	c.Add("a", 2)
+	c.Add("a", 1, "", 0)
+	c.Add("a", 2, "", 0)
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("zero-capacity cache returned a hit")
 	}
@@ -87,7 +87,7 @@ func TestLRUCapacityZero(t *testing.T) {
 func TestLRURemovePrefix(t *testing.T) {
 	c := newLRUCache(8)
 	for _, k := range []string{"d1|x", "d1|y", "d2|x", "d2|y"} {
-		c.Add(k, k)
+		c.Add(k, k, "", 0)
 	}
 	c.Get("d1|x") // move a d1 entry to the front so removal spans the list
 	c.RemovePrefix("d1|")

@@ -128,9 +128,10 @@ func replayWAL(rel *relation.Relation, enc *relation.Encoder, recs []persist.WAL
 // RecoveredDataset describes one dataset restored by EnableDurability.
 type RecoveredDataset struct {
 	Info
-	CheckpointGeneration int64 // generation of the checkpoint it started from
-	ReplayedRows         int   // rows re-applied from the WAL tail (eager recovery)
-	DroppedRecords       int   // WAL records unusable against the checkpoint
+	Namespace            string // namespace the dataset was recovered into
+	CheckpointGeneration int64  // generation of the checkpoint it started from
+	ReplayedRows         int    // rows re-applied from the WAL tail (eager recovery)
+	DroppedRecords       int    // WAL records unusable against the checkpoint
 	// Lazy marks a dataset adopted without decoding its checkpoint: its WAL
 	// held nothing past the checkpointed generation, so the header state is
 	// the dataset state and the columns decode on first query access.
@@ -150,95 +151,117 @@ type RecoveredDataset struct {
 // service starts serving (the daemon recovers at boot); after it returns,
 // registrations, appends and removals of every dataset are durable.
 func (s *Service) EnableDurability(store *persist.Store) ([]RecoveredDataset, error) {
-	names, err := store.List()
+	namespaces, err := store.Namespaces()
 	if err != nil {
 		return nil, err
 	}
 	var out []RecoveredDataset
-	for _, name := range names {
-		ds, err := store.Dataset(name)
+	for _, ns := range namespaces {
+		names, err := store.List(ns)
 		if err != nil {
-			return out, fmt.Errorf("service: opening store for %q: %w", name, err)
+			return out, err
 		}
-		lck, recs, err := ds.LoadLazy()
-		if err != nil {
-			ds.Close()
-			return out, fmt.Errorf("service: loading %q: %w", name, err)
-		}
-		if lck == nil {
-			// A directory without a checkpoint is an interrupted registration:
-			// the dataset was never acknowledged, so there is nothing to
-			// recover. Drop the remains.
-			ds.Close()
-			_ = store.Remove(name)
-			continue
-		}
-		hdr := lck.Header()
-		if len(hdr.Attrs) == 0 {
-			lck.Close()
-			ds.Close()
-			return out, fmt.Errorf("service: checkpoint for %q has no attributes", name)
-		}
-		pending := false
-		for _, rec := range recs {
-			if rec.Generation > hdr.Generation {
-				pending = true
-				break
-			}
-		}
-		if !pending {
-			d, err := s.reg.adoptLazy(name, ds, lck, recs)
+		for _, name := range names {
+			rec, err := s.recoverDataset(store, ns, name)
 			if err != nil {
-				lck.Close()
-				ds.Close()
 				return out, err
 			}
-			out = append(out, RecoveredDataset{
-				Info:                 d.Info(),
-				CheckpointGeneration: hdr.Generation,
-				Lazy:                 true,
-			})
-			continue
-		}
-		ck, err := lck.Materialize()
-		lck.Close()
-		if err != nil {
-			ds.Close()
-			return out, fmt.Errorf("service: loading %q: %w", name, err)
-		}
-		rel, enc, err := datasetFromCheckpoint(ck)
-		if err != nil {
-			ds.Close()
-			return out, err
-		}
-		applied, droppedRecs, err := replayWAL(rel, enc, recs, ck.Generation)
-		if err != nil {
-			ds.Close()
-			return out, fmt.Errorf("service: replaying WAL for %q: %w", name, err)
-		}
-		// Same warm-up as Register: singleton entropies build the column
-		// mirror and seed the memo before the dataset is reachable.
-		for _, a := range rel.Attrs() {
-			if _, err := infotheory.Entropy(rel, a); err != nil {
-				ds.Close()
-				return out, fmt.Errorf("service: warming recovered %q: %w", name, err)
+			if rec != nil {
+				out = append(out, *rec)
 			}
 		}
-		d, err := s.reg.adopt(name, rel, enc, ds)
-		if err != nil {
-			ds.Close()
-			return out, err
-		}
-		out = append(out, RecoveredDataset{
-			Info:                 d.Info(),
-			CheckpointGeneration: ck.Generation,
-			ReplayedRows:         applied,
-			DroppedRecords:       droppedRecs,
-		})
 	}
+	s.reg.mu.Lock()
 	s.reg.store = store
+	s.reg.mu.Unlock()
 	s.compactAt = store.CompactAt()
 	return out, nil
+}
+
+// recoverDataset restores one (namespace, dataset) pair from the store; a
+// nil, nil return means the directory held nothing recoverable and was
+// dropped.
+func (s *Service) recoverDataset(store *persist.Store, ns, name string) (*RecoveredDataset, error) {
+	ds, err := store.Dataset(ns, name)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening store for %q: %w", name, err)
+	}
+	lck, recs, err := ds.LoadLazy()
+	if err != nil {
+		ds.Close()
+		return nil, fmt.Errorf("service: loading %q: %w", name, err)
+	}
+	if lck == nil {
+		// A directory without a checkpoint is an interrupted registration:
+		// the dataset was never acknowledged, so there is nothing to
+		// recover. Drop the remains.
+		ds.Close()
+		_ = store.Remove(ns, name)
+		return nil, nil
+	}
+	hdr := lck.Header()
+	if len(hdr.Attrs) == 0 {
+		lck.Close()
+		ds.Close()
+		return nil, fmt.Errorf("service: checkpoint for %q has no attributes", name)
+	}
+	pending := false
+	for _, rec := range recs {
+		if rec.Generation > hdr.Generation {
+			pending = true
+			break
+		}
+	}
+	if !pending {
+		d, err := s.reg.adoptLazy(ns, name, ds, lck, recs)
+		if err != nil {
+			lck.Close()
+			ds.Close()
+			return nil, err
+		}
+		return &RecoveredDataset{
+			Info:                 d.Info(),
+			Namespace:            ns,
+			CheckpointGeneration: hdr.Generation,
+			Lazy:                 true,
+		}, nil
+	}
+	ck, err := lck.Materialize()
+	lck.Close()
+	if err != nil {
+		ds.Close()
+		return nil, fmt.Errorf("service: loading %q: %w", name, err)
+	}
+	rel, enc, err := datasetFromCheckpoint(ck)
+	if err != nil {
+		ds.Close()
+		return nil, err
+	}
+	applied, droppedRecs, err := replayWAL(rel, enc, recs, ck.Generation)
+	if err != nil {
+		ds.Close()
+		return nil, fmt.Errorf("service: replaying WAL for %q: %w", name, err)
+	}
+	// Same warm-up as Register: singleton entropies build the column
+	// mirror and seed the memo before the dataset is reachable.
+	for _, a := range rel.Attrs() {
+		if _, err := infotheory.Entropy(rel, a); err != nil {
+			ds.Close()
+			return nil, fmt.Errorf("service: warming recovered %q: %w", name, err)
+		}
+	}
+	d, err := s.reg.adopt(ns, name, rel, enc, ds)
+	if err != nil {
+		ds.Close()
+		return nil, err
+	}
+	return &RecoveredDataset{
+		Info:                 d.Info(),
+		Namespace:            ns,
+		CheckpointGeneration: ck.Generation,
+		ReplayedRows:         applied,
+		DroppedRecords:       droppedRecs,
+	}, nil
 }
 
 // MaterializeAll forces every lazily recovered dataset to decode now — the
@@ -261,12 +284,19 @@ func (s *Service) MaterializeAll() error {
 // immutable frozen view — readers are never blocked and writers only for
 // the capture.
 func (s *Service) Checkpoint(name string) (*CheckpointView, error) {
-	d, ok := s.reg.Get(name)
+	return s.CheckpointIn(s.reg.DefaultNamespace(), name)
+}
+
+// CheckpointIn is Checkpoint against the named dataset in the given
+// namespace.
+func (s *Service) CheckpointIn(ns, name string) (*CheckpointView, error) {
+	nsObj := s.reg.lookupNS(ns)
+	d, ok := s.reg.GetIn(ns, name)
 	if !ok {
-		return nil, s.reject(fmt.Errorf("service: %w %q", ErrUnknownDataset, name))
+		return nil, s.reject(nsObj, fmt.Errorf("service: %w %q", ErrUnknownDataset, name))
 	}
 	if d.store == nil {
-		return nil, s.reject(fmt.Errorf("service: dataset %q is not durable (start the daemon with -data)", name))
+		return nil, s.reject(nsObj, fmt.Errorf("service: dataset %q is not durable (start the daemon with -data)", name))
 	}
 	v, err := s.checkpointDataset(d)
 	if err != nil {

@@ -139,13 +139,13 @@ func TestDurableRemove(t *testing.T) {
 	if _, err := s1.Registry().Register("block", strings.NewReader(blockCSV(2, 2, 2)), true); err != nil {
 		t.Fatal(err)
 	}
-	if entries, _ := os.ReadDir(dir); len(entries) != 1 {
+	if entries, _ := os.ReadDir(filepath.Join(dir, "default")); len(entries) != 1 {
 		t.Fatalf("store dir entries: %v", entries)
 	}
 	if !s1.Remove("block") {
 		t.Fatal("remove failed")
 	}
-	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+	if entries, _ := os.ReadDir(filepath.Join(dir, "default")); len(entries) != 0 {
 		t.Fatalf("durable dir survived removal: %v", entries)
 	}
 	_, recovered := newDurableService(t, dir, 16)
@@ -305,7 +305,7 @@ func TestCrashRecoveryTruncatedWAL(t *testing.T) {
 	if _, err := s1.Append("d", [][]string{{"51", "52", "5"}, {"53", "54", "5"}}, false); err != nil {
 		t.Fatal(err)
 	}
-	walPath := filepath.Join(dir, "d", "wal.log")
+	walPath := filepath.Join(dir, "default", "d", "wal.log")
 	intact, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -318,20 +318,20 @@ func TestCrashRecoveryTruncatedWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ckptData, err := os.ReadFile(filepath.Join(dir, "d", "checkpoint.ckpt"))
+	ckptData, err := os.ReadFile(filepath.Join(dir, "default", "d", "checkpoint.ckpt"))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	for cut := preLen; cut <= int64(len(full)); cut++ {
 		sub := t.TempDir()
-		if err := os.MkdirAll(filepath.Join(sub, "d"), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Join(sub, "default", "d"), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(sub, "d", "checkpoint.ckpt"), ckptData, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(sub, "default", "d", "checkpoint.ckpt"), ckptData, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(sub, "d", "wal.log"), full[:cut], 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(sub, "default", "d", "wal.log"), full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		s2, recovered := newDurableService(t, sub, 16)

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestLegacyAPIGoldenParity pins the byte-level behavior of every legacy
+// (unversioned) route: a fixed, fully sequential request sequence is run
+// against a fresh handler and the concatenated responses — status, content
+// type, and exact body bytes — must match the committed golden transcript.
+// The golden was recorded from the pre-namespace (PR 6) handler, so this is
+// the proof that aliasing the legacy routes onto the default namespace
+// changed nothing a legacy client can observe. Regenerate (deliberately!)
+// with UPDATE_GOLDEN=1 go test -run LegacyAPIGoldenParity ./internal/service.
+func TestLegacyAPIGoldenParity(t *testing.T) {
+	s := New(64)
+	h := NewHandler(s)
+	var buf bytes.Buffer
+	do := func(method, path, contentType, body string) {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		fmt.Fprintf(&buf, "### %s %s\n%d %s\n%s\n",
+			method, path, rec.Code, rec.Header().Get("Content-Type"), rec.Body.String())
+	}
+
+	csv := blockCSV(3, 2, 2)
+	do("POST", "/datasets?name=g", "text/csv", csv)
+	do("POST", "/datasets?name=g", "text/csv", csv) // duplicate -> 409
+	do("GET", "/datasets", "", "")
+	do("GET", "/healthz", "", "")
+	do("GET", "/analyze?dataset=g&schema=A,B|B,C", "", "")
+	do("GET", "/analyze?dataset=g&schema=A,B;B,C", "", "")    // raw ';' -> 400
+	do("GET", "/analyze?dataset=nope&schema=A,B|B,C", "", "") // unknown -> 404
+	do("GET", "/entropy?dataset=g&attrs=A,B", "", "")
+	do("GET", "/entropy?dataset=g&a=A&b=B&given=C", "", "")
+	do("GET", "/entropy?dataset=g", "", "") // needs attrs -> 400
+	do("GET", "/discover?dataset=g&target=0.01&maxsep=2", "", "")
+	do("POST", "/batch", "application/json",
+		`{"dataset":"g","queries":[{"kind":"entropy","attrs":["A","B"]},{"kind":"MI","a":["A"],"b":["B"]},{"kind":"fd","x":["A"],"y":["B"]},{"kind":"distinct","attrs":["C"]},{"kind":"conditional_entropy","attrs":["A"],"given":["B"]}]}`)
+	do("POST", "/batch", "application/json", `{"dataset":"g","queries":[{"kind":"bogus"}]}`) // -> 400
+	do("POST", "/batch", "application/json", `{"dataset":"g"}`)                              // -> 400
+	do("POST", "/datasets/g/checkpoint", "", "")                                             // not durable -> 400
+	do("POST", "/datasets/g/append", "text/csv", "91,901,9\n92,902,9\n11,101,1\n")
+	do("GET", "/entropy?dataset=g&attrs=A,B", "", "")                          // new generation
+	do("POST", "/datasets/g/append?header=1", "text/csv", "A,B,X\n93,903,9\n") // header mismatch -> 400
+	do("POST", "/datasets/g/append", "application/json", `{"rows":[["94",904,"9"]]}`)
+	do("GET", "/datasets", "", "")
+	do("DELETE", "/datasets/nope", "", "") // -> 404
+	do("GET", "/stats", "", "")
+	do("DELETE", "/datasets/g", "", "")
+
+	got := regexp.MustCompile(`"registered_at": "[^"]*"`).
+		ReplaceAllString(buf.String(), `"registered_at": "<TS>"`)
+	golden := filepath.Join("testdata", "legacy_api_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (generate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+			if gotLines[i] != wantLines[i] {
+				t.Fatalf("legacy API response diverged from the PR 6 golden at line %d:\n got: %s\nwant: %s",
+					i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("legacy API transcript length changed: got %d lines, want %d", len(gotLines), len(wantLines))
+	}
+}

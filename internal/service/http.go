@@ -17,7 +17,26 @@ import (
 // the in-memory relation sizes the analysis engine targets.
 const maxUploadBytes = 512 << 20
 
-// NewHandler returns the HTTP API of the analysis service:
+// NewHandler returns the HTTP API of the analysis service. The versioned,
+// namespace-scoped surface lives under /v1 (see registerV1 in http_v1.go):
+//
+//	GET    /v1/namespaces                 list namespaces
+//	GET    /v1/{ns}/stats                 one namespace's counters and quotas
+//	GET    /v1/{ns}/datasets              list the namespace's datasets
+//	POST   /v1/{ns}/datasets?name=X       register the CSV request body
+//	GET    /v1/{ns}/datasets/{name}/schema  self-description: attributes with
+//	                                      distinct counts, rows, generation,
+//	                                      available measures
+//	POST   /v1/{ns}/datasets/{name}/append[?header=1]
+//	POST   /v1/{ns}/datasets/{name}/checkpoint
+//	DELETE /v1/{ns}/datasets/{name}
+//	GET    /v1/{ns}/analyze, /v1/{ns}/discover, /v1/{ns}/entropy
+//	POST   /v1/{ns}/batch                 schema-validated batch queries
+//	GET    /v1/schemas                    published JSON Schema names
+//	GET    /v1/schemas/{name}             one published JSON Schema document
+//
+// The original unversioned routes remain, byte-identical, as aliases of the
+// default namespace:
 //
 //	GET    /healthz                      liveness probe
 //	GET    /stats                        request counters
@@ -39,7 +58,10 @@ const maxUploadBytes = 512 << 20
 // Every response is JSON, and every analysis response echoes the dataset
 // generation it was computed against (appends bump the generation). Errors
 // come back as {"error": "..."} with 400 (bad request/ingestion), 404
-// (unknown dataset or route), or 409 (duplicate dataset name).
+// (unknown dataset, namespace, or route), 405 (wrong method for a known
+// route, with Allow set), 409 (duplicate dataset name), or 429 (namespace
+// quota exceeded) — unmatched routes and wrong methods share the same JSON
+// envelope as every other error.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -65,6 +87,8 @@ func NewHandler(s *Service) http.Handler {
 			status := http.StatusBadRequest
 			if errors.Is(err, ErrAlreadyRegistered) {
 				status = http.StatusConflict
+			} else if errors.Is(err, ErrQuotaExceeded) {
+				status = http.StatusTooManyRequests
 			}
 			writeError(w, status, err)
 			return
@@ -166,12 +190,12 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /discover", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
-		target, err := queryFloat(q.Get("target"), 0.01)
+		target, err := queryFloat("target", q.Get("target"), 0.01)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		maxSep, err := queryInt(q.Get("maxsep"), 1)
+		maxSep, err := queryInt("maxsep", q.Get("maxsep"), 1)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -193,7 +217,12 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, v)
 	})
-	return mux
+	registerV1(mux, s)
+	// /v1/schemas/{name} would conflict with the /v1/{ns}/... wildcards on
+	// paths like /v1/schemas/datasets, so the schema documents live on their
+	// own mux that the wrapper consults first; the wrapper also converts
+	// unmatched routes and wrong methods into the shared JSON error envelope.
+	return &apiHandler{api: mux, schemas: newSchemasMux()}
 }
 
 // schemaParam extracts the schema query parameter, working around (and
@@ -213,11 +242,15 @@ func schemaParam(r *http.Request) (string, error) {
 }
 
 // statusFor maps service errors onto HTTP statuses: unknown datasets are
-// 404, durable-store failures are the server's fault (500), everything
-// else a caller can fix is 400.
+// 404, quota rejections are 429 (the request was fine, the tenant is over
+// its allowance), durable-store failures are the server's fault (500),
+// everything else a caller can fix is 400.
 func statusFor(err error) int {
 	if errors.Is(err, ErrUnknownDataset) {
 		return http.StatusNotFound
+	}
+	if errors.Is(err, ErrQuotaExceeded) {
+		return http.StatusTooManyRequests
 	}
 	if errors.Is(err, ErrStore) {
 		return http.StatusInternalServerError
@@ -330,24 +363,38 @@ func queryList(s string) []string {
 	return out
 }
 
-func queryFloat(s string, def float64) (float64, error) {
+// queryFloat parses a non-negative numeric query parameter; absent means
+// def. The parameter name is part of both error messages — a request with
+// several numeric parameters must not make the caller guess which one was
+// bad — and negatives are rejected here, once, instead of surfacing later as
+// a confusing domain error (a negative discovery target or separator budget
+// has no meaning anywhere in the API).
+func queryFloat(name, s string, def float64) (float64, error) {
 	if s == "" {
 		return def, nil
 	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
-		return 0, fmt.Errorf("service: bad numeric parameter %q", s)
+		return 0, fmt.Errorf("service: bad numeric parameter %s=%q", name, s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("service: parameter %s must be non-negative, got %s", name, s)
 	}
 	return v, nil
 }
 
-func queryInt(s string, def int) (int, error) {
+// queryInt parses a non-negative integer query parameter; absent means def.
+// See queryFloat for why the name is threaded through and negatives fail.
+func queryInt(name, s string, def int) (int, error) {
 	if s == "" {
 		return def, nil
 	}
 	v, err := strconv.Atoi(s)
 	if err != nil {
-		return 0, fmt.Errorf("service: bad integer parameter %q", s)
+		return 0, fmt.Errorf("service: bad integer parameter %s=%q", name, s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("service: parameter %s must be non-negative, got %d", name, v)
 	}
 	return v, nil
 }

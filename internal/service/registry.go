@@ -36,13 +36,25 @@ var ErrAlreadyRegistered = errors.New("dataset already registered")
 type Dataset struct {
 	// ID is unique per registration (never reused), so cached results keyed
 	// by ID can never be served for a later dataset of the same name.
-	ID   int64
-	Name string
+	ID int64
+	// Namespace is the tenant the dataset belongs to; (Namespace, Name) is
+	// the registry key, so the same name may exist in many namespaces.
+	Namespace string
+	Name      string
 	// Rel is the live relation; it must only be mutated under appendMu.
 	// Request paths read the published View instead.
 	Rel          *relation.Relation
 	Enc          *relation.Encoder
 	RegisteredAt time.Time
+
+	// ns is the owning namespace's live state: Append reserves rows against
+	// its quota and the request path charges its counters. Always non-nil
+	// for datasets created through the registry.
+	ns *namespace
+	// keyPrefix is nsPrefix(Namespace)+datasetPrefix(ID), precomputed when
+	// the ID is assigned: requestKey runs on every request, and quoting the
+	// namespace there costs two allocations per request.
+	keyPrefix string
 
 	// appendMu serializes writers (appends). Readers never touch it.
 	appendMu sync.Mutex
@@ -229,6 +241,15 @@ func (d *Dataset) Append(records [][]string, header bool) (added, dups, rows int
 		}
 		tuples[i] = t
 	}
+	// Quota: reserve the batch against the namespace's row budget before any
+	// side effect (WAL write included — an over-quota batch must leave no
+	// trace). Duplicate rows are released after the apply, when we know how
+	// many; on any failure the whole reservation rolls back.
+	if d.ns != nil {
+		if err := d.ns.reserveRows(int64(len(tuples))); err != nil {
+			return 0, 0, cur.N(), cur.Generation(), err
+		}
+	}
 	// Write-ahead: the validated batch hits the WAL before any row is applied
 	// and before the new view is published, so an acknowledged append can
 	// never be missing after a crash. A batch that turns out to be all
@@ -237,12 +258,23 @@ func (d *Dataset) Append(records [][]string, header bool) (added, dups, rows int
 	// write failure nothing has been applied: the append fails cleanly.
 	if d.store != nil {
 		if err := d.store.AppendWAL(cur.Generation()+1, records); err != nil {
+			if d.ns != nil {
+				d.ns.releaseRows(int64(len(tuples)))
+			}
 			return 0, 0, cur.N(), cur.Generation(), fmt.Errorf("service: %w: %w", ErrStore, err)
 		}
 	}
 	added, err = d.Rel.Append(tuples)
 	if err != nil {
+		if d.ns != nil {
+			d.ns.releaseRows(int64(len(tuples)))
+		}
 		return 0, 0, cur.N(), cur.Generation(), err
+	}
+	if d.ns != nil {
+		// Only the rows that actually landed stay reserved; duplicates go
+		// back to the budget.
+		d.ns.releaseRows(int64(len(tuples) - added))
 	}
 	if added > 0 {
 		cur = d.Rel.View()
@@ -251,33 +283,52 @@ func (d *Dataset) Append(records [][]string, header bool) (added, dups, rows int
 	return added, len(tuples) - added, cur.N(), cur.Generation(), nil
 }
 
-// Registry holds named datasets for the analysis service. CSV ingestion
-// happens exactly once per dataset; every later request reads the same warm
-// Relation.
+// Registry holds datasets for the analysis service, keyed by (namespace,
+// dataset name). CSV ingestion happens exactly once per dataset; every later
+// request reads the same warm Relation. The unversioned legacy methods
+// (Register, Get, Remove, List) alias the configurable default namespace.
 type Registry struct {
-	mu     sync.RWMutex
-	byName map[string]*Dataset
-	// reserved holds names whose durable registration is writing its initial
-	// checkpoint outside the lock: the name is taken (a concurrent Register
-	// must fail) but not yet queryable. Entries are transient.
-	reserved map[string]bool
-	nextID   int64
+	mu         sync.RWMutex
+	namespaces map[string]*namespace
+	// defaultNS is the namespace the legacy unversioned API operates on.
+	// Atomic (not guarded by mu): every legacy request reads it, and an
+	// RLock here measurably dents serving throughput under parallelism.
+	defaultNS atomic.Pointer[string]
+	// defaultQuota is copied into every namespace at creation.
+	defaultQuota Quotas
+	nextID       int64
 	// store, when non-nil, makes every dataset durable: Register writes an
 	// initial checkpoint, Append write-ahead-logs batches, Remove deletes the
 	// dataset's directory. Set once (before serving) via Service durability.
 	store *persist.Store
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry whose legacy methods operate on the
+// "default" namespace with no quotas.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*Dataset), reserved: make(map[string]bool)}
+	g := &Registry{namespaces: make(map[string]*namespace)}
+	def := "default"
+	g.defaultNS.Store(&def)
+	return g
 }
 
-// Register ingests a CSV stream under the given name. Malformed CSV input
-// (duplicate/empty header cells, ragged records) is reported as an error —
-// the ingestion path must never panic in a long-running service. Registering
-// an existing name is an error; Remove it first.
+// Register ingests a CSV stream under the given name in the default
+// namespace (the legacy unversioned API).
 func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, error) {
+	return g.RegisterIn(g.DefaultNamespace(), name, r, header)
+}
+
+// RegisterIn ingests a CSV stream under the given name inside a namespace,
+// creating the namespace (with the registry's default quotas) on first use.
+// Malformed CSV input (duplicate/empty header cells, ragged records) is
+// reported as an error — the ingestion path must never panic in a
+// long-running service. Registering an existing (namespace, name) pair is an
+// error; Remove it first. Registration is quota-checked: the namespace must
+// have a dataset slot and row budget for the whole ingested relation.
+func (g *Registry) RegisterIn(ns, name string, r io.Reader, header bool) (*Dataset, error) {
+	if ns == "" {
+		return nil, fmt.Errorf("service: namespace must be non-empty")
+	}
 	if name == "" {
 		return nil, fmt.Errorf("service: dataset name must be non-empty")
 	}
@@ -285,7 +336,7 @@ func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, er
 	// without decoding the body. The authoritative check under the write
 	// lock below still guards against two concurrent registrations racing
 	// past this point.
-	if _, taken := g.Get(name); taken {
+	if _, taken := g.GetIn(ns, name); taken {
 		return nil, fmt.Errorf("service: %w: %q", ErrAlreadyRegistered, name)
 	}
 	rel, enc, err := relation.ReadCSV(r, header)
@@ -307,21 +358,34 @@ func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, er
 	// full serialization plus fsyncs — runs OUTSIDE the registry lock:
 	// holding g.mu through disk I/O would stall every request to every
 	// dataset. The reservation makes the claimed name exclusively ours, so
-	// on failure the half-written directory can be removed safely.
+	// on failure the half-written directory can be removed safely. Quotas
+	// are checked while the name is claimed: the dataset slot count includes
+	// reservations, and the row budget is reserved before any disk I/O.
 	g.mu.Lock()
-	if g.byName[name] != nil || g.reserved[name] {
+	n := g.ensureNSLocked(ns)
+	if n.byName[name] != nil || n.reserved[name] {
 		g.mu.Unlock()
 		return nil, fmt.Errorf("service: %w: %q", ErrAlreadyRegistered, name)
 	}
-	g.reserved[name] = true
+	if q := n.maxDatasets.Load(); q > 0 && int64(len(n.byName)+len(n.reserved)) >= q {
+		g.mu.Unlock()
+		return nil, &QuotaError{Namespace: ns, Resource: "datasets", Limit: q, Requested: q + 1}
+	}
+	if err := n.reserveRows(int64(rel.N())); err != nil {
+		g.mu.Unlock()
+		return nil, err
+	}
+	n.reserved[name] = true
 	store := g.store
 	g.mu.Unlock()
 
 	d := &Dataset{
+		Namespace:    ns,
 		Name:         name,
 		Rel:          rel,
 		Enc:          enc,
 		RegisteredAt: time.Now(),
+		ns:           n,
 	}
 	d.view.Store(rel.View()) // generation 1: the freshly warmed snapshot
 	if store != nil {
@@ -329,13 +393,14 @@ func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, er
 		// the dataset is reachable, so recovery always finds a schema to
 		// replay the WAL against. Failure aborts the registration cleanly.
 		fail := func(err error) (*Dataset, error) {
-			_ = store.Remove(name)
+			_ = store.Remove(ns, name)
 			g.mu.Lock()
-			delete(g.reserved, name)
+			delete(n.reserved, name)
 			g.mu.Unlock()
+			n.releaseRows(int64(rel.N()))
 			return nil, err
 		}
-		ds, err := store.Dataset(name)
+		ds, err := store.Dataset(ns, name)
 		if err != nil {
 			return fail(fmt.Errorf("service: registering %q durably: %w", name, err))
 		}
@@ -348,33 +413,42 @@ func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, er
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	delete(g.reserved, name)
+	delete(n.reserved, name)
 	g.nextID++
 	d.ID = g.nextID
-	g.byName[name] = d
+	d.keyPrefix = nsPrefix(ns) + datasetPrefix(d.ID)
+	n.byName[name] = d
 	return d, nil
 }
 
 // adopt registers a dataset recovered from the durability store: the
 // relation and encoder were rebuilt from its checkpoint and WAL, and ds is
 // attached so further appends keep logging. It fails if the name is taken.
-func (g *Registry) adopt(name string, rel *relation.Relation, enc *relation.Encoder, ds *persist.DatasetStore) (*Dataset, error) {
+// Recovered rows count against the namespace's row total (quotas are not
+// enforced at recovery — existing data always loads, over-quota namespaces
+// simply cannot grow).
+func (g *Registry) adopt(ns, name string, rel *relation.Relation, enc *relation.Encoder, ds *persist.DatasetStore) (*Dataset, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if _, exists := g.byName[name]; exists {
+	n := g.ensureNSLocked(ns)
+	if _, exists := n.byName[name]; exists {
 		return nil, fmt.Errorf("service: %w: %q", ErrAlreadyRegistered, name)
 	}
 	g.nextID++
 	d := &Dataset{
 		ID:           g.nextID,
+		Namespace:    ns,
 		Name:         name,
 		Rel:          rel,
 		Enc:          enc,
 		RegisteredAt: time.Now(),
+		ns:           n,
 		store:        ds,
 	}
+	d.keyPrefix = nsPrefix(ns) + datasetPrefix(d.ID)
 	d.view.Store(rel.View())
-	g.byName[name] = d
+	n.rows.Add(int64(rel.N()))
+	n.byName[name] = d
 	return d, nil
 }
 
@@ -383,20 +457,24 @@ func (g *Registry) adopt(name string, rel *relation.Relation, enc *relation.Enco
 // materializes the rows (see Dataset.ensure). The checkpoint header state is
 // the dataset state — callers must only adopt lazily when the WAL holds no
 // records past the checkpointed generation.
-func (g *Registry) adoptLazy(name string, ds *persist.DatasetStore, lck *persist.LazyCheckpoint, recs []persist.WALRecord) (*Dataset, error) {
+func (g *Registry) adoptLazy(ns, name string, ds *persist.DatasetStore, lck *persist.LazyCheckpoint, recs []persist.WALRecord) (*Dataset, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if _, exists := g.byName[name]; exists {
+	n := g.ensureNSLocked(ns)
+	if _, exists := n.byName[name]; exists {
 		return nil, fmt.Errorf("service: %w: %q", ErrAlreadyRegistered, name)
 	}
 	hdr := lck.Header()
 	g.nextID++
 	d := &Dataset{
 		ID:           g.nextID,
+		Namespace:    ns,
 		Name:         name,
 		RegisteredAt: time.Now(),
+		ns:           n,
 		store:        ds,
 	}
+	d.keyPrefix = nsPrefix(ns) + datasetPrefix(d.ID)
 	d.lazy = &lazyState{
 		ck:   lck,
 		recs: recs,
@@ -408,59 +486,101 @@ func (g *Registry) adoptLazy(name string, ds *persist.DatasetStore, lck *persist
 			RegisteredAt: d.RegisteredAt.UTC().Format(time.RFC3339),
 		},
 	}
-	g.byName[name] = d
+	n.rows.Add(int64(hdr.Rows))
+	n.byName[name] = d
 	return d, nil
 }
 
-// Get returns the dataset registered under name.
+// Get returns the dataset registered under name in the default namespace.
 func (g *Registry) Get(name string) (*Dataset, bool) {
+	return g.GetIn(g.DefaultNamespace(), name)
+}
+
+// GetIn returns the dataset registered under (namespace, name).
+func (g *Registry) GetIn(ns, name string) (*Dataset, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	d, ok := g.byName[name]
+	n := g.namespaces[ns]
+	if n == nil {
+		return nil, false
+	}
+	d, ok := n.byName[name]
 	return d, ok
 }
 
-// Remove deregisters name and returns the removed dataset, if any. A
-// durable dataset's directory (checkpoint + WAL) is deleted too: a removed
-// dataset must not resurrect on the next boot.
+// Remove deregisters name from the default namespace.
 func (g *Registry) Remove(name string) (*Dataset, bool) {
+	return g.RemoveIn(g.DefaultNamespace(), name)
+}
+
+// RemoveIn deregisters (namespace, name) and returns the removed dataset, if
+// any. A durable dataset's directory (checkpoint + WAL) is deleted too: a
+// removed dataset must not resurrect on the next boot. The dataset's rows go
+// back to the namespace's quota budget.
+func (g *Registry) RemoveIn(ns, name string) (*Dataset, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	d, ok := g.byName[name]
+	n := g.namespaces[ns]
+	if n == nil {
+		return nil, false
+	}
+	d, ok := n.byName[name]
 	if ok {
-		delete(g.byName, name)
+		delete(n.byName, name)
+		n.rows.Add(-int64(d.Info().Rows))
 		d.closeLazy()
 		if d.store != nil {
 			d.store.Close()
 			if g.store != nil {
-				_ = g.store.Remove(name) // best-effort; a leftover dir only costs disk
+				_ = g.store.Remove(ns, name) // best-effort; a leftover dir only costs disk
 			}
 		}
 	}
 	return d, ok
 }
 
-// All returns every registered dataset, sorted by name; the stats path uses
-// it to surface per-dataset durability state.
+// All returns every registered dataset across all namespaces, sorted by
+// (namespace, name); the stats path uses it to surface per-dataset
+// durability state.
 func (g *Registry) All() []*Dataset {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	out := make([]*Dataset, 0, len(g.byName))
-	for _, d := range g.byName {
-		out = append(out, d)
+	var out []*Dataset
+	for _, n := range g.namespaces {
+		for _, d := range n.byName {
+			out = append(out, d)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Namespace != out[j].Namespace {
+			return out[i].Namespace < out[j].Namespace
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 
-// List returns summaries of all datasets, sorted by name.
+// List returns summaries of the default namespace's datasets, sorted by
+// name.
 func (g *Registry) List() []Info {
+	infos, _ := g.ListIn(g.DefaultNamespace())
+	return infos
+}
+
+// ListIn returns summaries of one namespace's datasets, sorted by name; ok
+// is false if the namespace does not exist (an existing empty namespace
+// lists empty with ok true).
+func (g *Registry) ListIn(ns string) ([]Info, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	out := make([]Info, 0, len(g.byName))
-	for _, d := range g.byName {
+	n := g.namespaces[ns]
+	if n == nil {
+		return []Info{}, false
+	}
+	out := make([]Info, 0, len(n.byName))
+	for _, d := range n.byName {
 		out = append(out, d.Info())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return out, true
 }

@@ -90,11 +90,25 @@ func New(cacheSize int) *Service {
 // Registry exposes the dataset registry (registration, listing, removal).
 func (s *Service) Registry() *Registry { return s.reg }
 
-// Remove deregisters a dataset and drops its cached results.
+// DefaultNamespace returns the namespace the legacy unversioned API aliases.
+func (s *Service) DefaultNamespace() string { return s.reg.DefaultNamespace() }
+
+// SetDefaultNamespace points the legacy unversioned API (and every
+// dataset-name-only Service method) at a different namespace. Must be set
+// before serving.
+func (s *Service) SetDefaultNamespace(ns string) { s.reg.SetDefaultNamespace(ns) }
+
+// Remove deregisters a dataset in the default namespace and drops its
+// cached results.
 func (s *Service) Remove(name string) bool {
-	d, ok := s.reg.Remove(name)
+	return s.RemoveIn(s.reg.DefaultNamespace(), name)
+}
+
+// RemoveIn deregisters (namespace, dataset) and drops its cached results.
+func (s *Service) RemoveIn(ns, name string) bool {
+	d, ok := s.reg.RemoveIn(ns, name)
 	if ok {
-		s.cache.RemovePrefix(datasetPrefix(d.ID))
+		s.cache.RemovePrefix(d.keyPrefix)
 	}
 	return ok
 }
@@ -111,6 +125,7 @@ func (s *Service) Stats() Stats {
 		Batches:          s.batches.Load(),
 		CheckpointErrors: s.checkpointErrors.Load(),
 	}
+	defaultNS := s.reg.DefaultNamespace()
 	for _, d := range s.reg.All() {
 		if d.store == nil {
 			continue
@@ -120,7 +135,14 @@ func (s *Service) Stats() Stats {
 		}
 		ckpts := d.checkpoints.Load()
 		st.Checkpoints += ckpts
-		st.Durability[d.Name] = DatasetDurability{
+		// Default-namespace datasets keep their bare pre-namespace key so
+		// existing dashboards (and the legacy /stats shape) are unchanged;
+		// other tenants' datasets are qualified.
+		key := d.Name
+		if d.Namespace != defaultNS {
+			key = d.Namespace + "/" + d.Name
+		}
+		st.Durability[key] = DatasetDurability{
 			WALBytes:       d.store.WALBytes(),
 			LastCheckpoint: d.store.LastCheckpoint(),
 			Checkpoints:    ckpts,
@@ -155,16 +177,19 @@ func (s *Service) AddSkippedLines(dataset string, n int64) {
 
 func datasetPrefix(id int64) string { return "d" + strconv.FormatInt(id, 10) + "|" }
 
-// requestKey is the per-request key prefix: dataset identity plus the
-// *generation* of the frozen view the request grabbed. The generation
-// segment is what guarantees a cached pre-append result can never answer a
-// post-append request (and vice versa) — the LRU and singleflight maps key
-// the generation explicitly instead of trusting time-of-check registry
-// state. Since PR 4 the generation is a property of the captured snapshot
-// itself: the computation runs against exactly the view the key was built
-// from, so key and result can never disagree about the generation.
+// requestKey is the per-request key prefix: namespace, dataset identity,
+// plus the *generation* of the frozen view the request grabbed. The
+// generation segment is what guarantees a cached pre-append result can never
+// answer a post-append request (and vice versa) — the LRU and singleflight
+// maps key the generation explicitly instead of trusting time-of-check
+// registry state. Since PR 4 the generation is a property of the captured
+// snapshot itself: the computation runs against exactly the view the key was
+// built from, so key and result can never disagree about the generation. The
+// leading namespace segment partitions both maps per tenant: a namespace's
+// entire keyspace shares one prefix, so cross-tenant collisions are
+// impossible by construction and whole-tenant eviction is one prefix sweep.
 func requestKey(d *Dataset, gen int64) string {
-	return datasetPrefix(d.ID) + "g" + strconv.FormatInt(gen, 10) + "|"
+	return d.keyPrefix + "g" + strconv.FormatInt(gen, 10) + "|"
 }
 
 // do is the shared request path: LRU lookup, then singleflight-coalesced
@@ -179,41 +204,52 @@ func requestKey(d *Dataset, gen int64) string {
 // atomic step — the window shrinks to a few instructions, and an entry
 // parked by a loss is unservable but harmless and ages out by eviction.
 func (s *Service) do(d *Dataset, key string, keyGen int64, fn func() (any, error)) (any, error) {
+	n := d.ns
 	s.requests.Add(1)
+	n.requests.Add(1)
 	if v, ok := s.cache.Get(key); ok {
 		s.cacheHits.Add(1)
+		n.cacheHits.Add(1)
 		return v, nil
 	}
 	v, err, shared := s.sf.Do(key, func() (any, error) {
 		s.computed.Add(1)
+		n.computed.Add(1)
 		v, err := fn()
 		if err == nil {
-			if cur, ok := s.reg.Get(d.Name); ok && cur.ID == d.ID && cur.Generation() == keyGen {
-				s.cache.Add(key, v)
+			if cur, ok := s.reg.GetIn(d.Namespace, d.Name); ok && cur.ID == d.ID && cur.Generation() == keyGen {
+				s.cache.Add(key, v, n.name, n.cacheShare.Load())
 			}
 		}
 		return v, err
 	})
 	if shared {
 		s.coalesced.Add(1)
+		n.coalesced.Add(1)
 	}
 	if err != nil {
 		s.errors.Add(1)
+		n.errors.Add(1)
 		return nil, err
 	}
 	return v, nil
 }
 
 // reject accounts a request that failed validation before reaching do(), so
-// Stats sees every request, not only the well-formed ones.
-func (s *Service) reject(err error) error {
+// Stats sees every request, not only the well-formed ones. n may be nil
+// (unknown namespace): the request still counts service-wide.
+func (s *Service) reject(n *namespace, err error) error {
 	s.requests.Add(1)
 	s.errors.Add(1)
+	if n != nil {
+		n.requests.Add(1)
+		n.errors.Add(1)
+	}
 	return err
 }
 
-func (s *Service) dataset(name string) (*Dataset, error) {
-	d, ok := s.reg.Get(name)
+func (s *Service) dataset(ns, name string) (*Dataset, error) {
+	d, ok := s.reg.GetIn(ns, name)
 	if !ok {
 		return nil, fmt.Errorf("service: %w %q", ErrUnknownDataset, name)
 	}
@@ -244,18 +280,25 @@ func attrsKey(lists ...[]string) string {
 }
 
 // Analyze runs the full core.Analyze report of the schema (in the CLI's
-// "A,B;B,C" syntax) against the named dataset.
+// "A,B;B,C" syntax) against the named dataset in the default namespace.
 func (s *Service) Analyze(dataset, schemaStr string) (*ReportView, error) {
-	d, err := s.dataset(dataset)
+	return s.AnalyzeIn(s.reg.DefaultNamespace(), dataset, schemaStr)
+}
+
+// AnalyzeIn runs the full core.Analyze report of the schema (in the CLI's
+// "A,B;B,C" syntax) against the named dataset in the given namespace.
+func (s *Service) AnalyzeIn(ns, dataset, schemaStr string) (*ReportView, error) {
+	nsObj := s.reg.lookupNS(ns)
+	d, err := s.dataset(ns, dataset)
 	if err != nil {
-		return nil, s.reject(err)
+		return nil, s.reject(nsObj, err)
 	}
 	schema, err := jointree.ParseSchema(schemaStr)
 	if err != nil {
-		return nil, s.reject(err)
+		return nil, s.reject(nsObj, err)
 	}
 	if !jointree.IsAcyclic(schema) {
-		return nil, s.reject(fmt.Errorf("service: schema %s is cyclic; only acyclic schemas have join trees", schema))
+		return nil, s.reject(nsObj, fmt.Errorf("service: schema %s is cyclic; only acyclic schemas have join trees", schema))
 	}
 	// Grab the frozen view once (one atomic load): the whole report — and its
 	// echoed generation — is computed against this snapshot, lock-free,
@@ -285,23 +328,40 @@ func (s *Service) Analyze(dataset, schemaStr string) (*ReportView, error) {
 // dataset is dropped — subsequent requests recompute against the new
 // generation, so the hit/miss counters never conflate generations.
 func (s *Service) Append(dataset string, records [][]string, header bool) (*AppendView, error) {
+	return s.AppendIn(s.reg.DefaultNamespace(), dataset, records, header)
+}
+
+// AppendIn is Append against the named dataset in the given namespace. The
+// batch is quota-checked against the namespace's row budget before any row
+// (or WAL byte) lands.
+func (s *Service) AppendIn(ns, dataset string, records [][]string, header bool) (*AppendView, error) {
 	// Every attempt counts — a failed append must be visible in Stats, and
 	// errors can never outnumber the traffic that produced them.
 	s.appends.Add(1)
-	d, err := s.dataset(dataset)
+	nsObj := s.reg.lookupNS(ns)
+	if nsObj != nil {
+		nsObj.appends.Add(1)
+	}
+	d, err := s.dataset(ns, dataset)
 	if err != nil {
 		s.errors.Add(1)
+		if nsObj != nil {
+			nsObj.errors.Add(1)
+		}
 		return nil, err
 	}
 	added, dups, rows, gen, err := d.Append(records, header)
 	if err != nil {
 		s.errors.Add(1)
+		nsObj.errors.Add(1)
 		return nil, err
 	}
 	if added > 0 {
 		// Results of previous generations are unreachable (keys embed the
 		// generation); evict them eagerly so they do not squat in the LRU.
-		s.cache.RemovePrefix(datasetPrefix(d.ID))
+		// The sweep is namespace-prefixed: the same dataset name warm in
+		// another tenant's cache share is untouched.
+		s.cache.RemovePrefix(d.keyPrefix)
 	}
 	// Fold an outgrown WAL into a fresh checkpoint in the background; the
 	// append itself never waits on compaction.
@@ -319,9 +379,14 @@ func (s *Service) Append(dataset string, records [][]string, header bool) (*Appe
 // J-measure, and approximate-MVD mining with separators of size ≤ maxSep)
 // against the named dataset.
 func (s *Service) Discover(dataset string, target float64, maxSep int) (*DiscoverView, error) {
-	d, err := s.dataset(dataset)
+	return s.DiscoverIn(s.reg.DefaultNamespace(), dataset, target, maxSep)
+}
+
+// DiscoverIn is Discover against the named dataset in the given namespace.
+func (s *Service) DiscoverIn(ns, dataset string, target float64, maxSep int) (*DiscoverView, error) {
+	d, err := s.dataset(ns, dataset)
 	if err != nil {
-		return nil, s.reject(err)
+		return nil, s.reject(s.reg.lookupNS(ns), err)
 	}
 	rel := d.View()
 	keyGen := rel.Generation()
@@ -397,18 +462,24 @@ func (s *Service) discover(name string, rel *relation.Relation, target float64, 
 //
 // Exactly one of (attrs) or (a,b) must be provided.
 func (s *Service) Entropy(dataset string, attrs, a, b, given []string) (*EntropyView, error) {
-	d, err := s.dataset(dataset)
+	return s.EntropyIn(s.reg.DefaultNamespace(), dataset, attrs, a, b, given)
+}
+
+// EntropyIn is Entropy against the named dataset in the given namespace.
+func (s *Service) EntropyIn(ns, dataset string, attrs, a, b, given []string) (*EntropyView, error) {
+	nsObj := s.reg.lookupNS(ns)
+	d, err := s.dataset(ns, dataset)
 	if err != nil {
-		return nil, s.reject(err)
+		return nil, s.reject(nsObj, err)
 	}
 	pairMode := len(a) > 0 || len(b) > 0
 	switch {
 	case pairMode && len(attrs) > 0:
-		return nil, s.reject(fmt.Errorf("service: entropy query takes either attrs or a+b, not both"))
+		return nil, s.reject(nsObj, fmt.Errorf("service: entropy query takes either attrs or a+b, not both"))
 	case pairMode && (len(a) == 0 || len(b) == 0):
-		return nil, s.reject(fmt.Errorf("service: mutual information needs both a and b"))
+		return nil, s.reject(nsObj, fmt.Errorf("service: mutual information needs both a and b"))
 	case !pairMode && len(attrs) == 0:
-		return nil, s.reject(fmt.Errorf("service: entropy query needs attrs (or a and b)"))
+		return nil, s.reject(nsObj, fmt.Errorf("service: entropy query needs attrs (or a and b)"))
 	}
 	var kind string
 	switch {
@@ -481,16 +552,25 @@ func batchKey(qs []engine.Query) string {
 // the same queries issued separately cold. Identical concurrent batches
 // coalesce, and finished batches are LRU-cached like any other request.
 func (s *Service) Batch(dataset string, qs []BatchQuery) (*BatchView, error) {
+	return s.BatchIn(s.reg.DefaultNamespace(), dataset, qs)
+}
+
+// BatchIn is Batch against the named dataset in the given namespace.
+func (s *Service) BatchIn(ns, dataset string, qs []BatchQuery) (*BatchView, error) {
 	s.batches.Add(1)
-	d, err := s.dataset(dataset)
+	nsObj := s.reg.lookupNS(ns)
+	if nsObj != nil {
+		nsObj.batches.Add(1)
+	}
+	d, err := s.dataset(ns, dataset)
 	if err != nil {
-		return nil, s.reject(err)
+		return nil, s.reject(nsObj, err)
 	}
 	if len(qs) == 0 {
-		return nil, s.reject(fmt.Errorf("service: batch needs at least one query"))
+		return nil, s.reject(nsObj, fmt.Errorf("service: batch needs at least one query"))
 	}
 	if len(qs) > maxBatchQueries {
-		return nil, s.reject(fmt.Errorf("service: batch of %d queries exceeds the limit of %d", len(qs), maxBatchQueries))
+		return nil, s.reject(nsObj, fmt.Errorf("service: batch of %d queries exceeds the limit of %d", len(qs), maxBatchQueries))
 	}
 	// Normalize kinds before the key is built, so spelling variants of the
 	// same batch ("MI" vs "mi", conditional_entropy vs entropy+given)

@@ -356,12 +356,12 @@ func TestResultCache(t *testing.T) {
 
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
-	c.Add("a", 1)
-	c.Add("b", 2)
+	c.Add("a", 1, "", 0)
+	c.Add("b", 2, "", 0)
 	if _, ok := c.Get("a"); !ok { // promote a; b is now LRU
 		t.Fatal("a missing")
 	}
-	c.Add("c", 3) // evicts b
+	c.Add("c", 3, "", 0) // evicts b
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b not evicted")
 	}
@@ -371,7 +371,7 @@ func TestLRUCacheEviction(t *testing.T) {
 		}
 	}
 	// Refresh in place does not grow the cache.
-	c.Add("a", 10)
+	c.Add("a", 10, "", 0)
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d", c.Len())
 	}
@@ -384,7 +384,7 @@ func TestLRUCacheEviction(t *testing.T) {
 	}
 	// Zero capacity disables caching entirely.
 	z := newLRUCache(0)
-	z.Add("k", 1)
+	z.Add("k", 1, "", 0)
 	if _, ok := z.Get("k"); ok || z.Len() != 0 {
 		t.Fatal("zero-capacity cache stored an entry")
 	}
