@@ -12,6 +12,8 @@
 //	         [-watch name=path.csv ...] [-watch-interval 2s]
 //	         [-data dir] [-wal-compact bytes] [-fsync]
 //	         [-default-ns default] [-quota-datasets N] [-quota-rows N]
+//	         [-follow http://primary:8347] [-follow-interval 500ms]
+//	         [-route http://n1:8347,http://n2:8347] [-route-vnodes 128]
 //
 // -data enables durability: every dataset gets a binary columnar checkpoint
 // plus an append-only CRC-checked WAL under the directory, appends are
@@ -58,6 +60,23 @@
 // (0 = unlimited); requests over quota get HTTP 429 with a typed error.
 // See internal/service.NewHandler for the full /v1 route table.
 //
+// -follow runs the daemon as a read-only follower of the primary at the
+// given base URL: it bootstraps every dataset from the primary's live
+// snapshots, then tails each WAL by generation cursor (re-bootstrapping on
+// 410 when compaction outran the cursor) and serves reads from its own warm
+// state. Writes are rejected with 421 naming the primary in the
+// X-Ajdloss-Primary header; /stats grows a "replication" block with lag and
+// applied counts. A follower is in-memory by definition — -data, -load, and
+// -watch cannot be combined with it.
+//
+// -route runs a stateless routing tier instead of an engine: each
+// {namespace}/{dataset} is consistent-hashed onto one node of the
+// comma-separated list, single-dataset requests are proxied to the owner
+// (reads fail over along the ring; writes answered 421 by a follower are
+// retried once against its primary), GET /v1/{ns}/datasets merges the
+// per-node listings, and a POST /v1/{ns}/batch whose body carries a
+// "datasets" array fans out per dataset and merges the views.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // drain (up to a timeout) before the process exits.
 package main
@@ -81,6 +100,7 @@ import (
 
 	"ajdloss/internal/engine"
 	"ajdloss/internal/persist"
+	"ajdloss/internal/replica"
 	"ajdloss/internal/service"
 )
 
@@ -123,6 +143,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	defaultNS := fs.String("default-ns", "default", "namespace the legacy unversioned routes alias")
 	quotaDatasets := fs.Int64("quota-datasets", 0, "max datasets per namespace (0 = unlimited)")
 	quotaRows := fs.Int64("quota-rows", 0, "max total rows per namespace (0 = unlimited)")
+	follow := fs.String("follow", "", "run as a read-only follower of the primary at this base URL")
+	followEvery := fs.Duration("follow-interval", 500*time.Millisecond, "sync interval in -follow mode")
+	route := fs.String("route", "", "run as a stateless router over this comma-separated node URL list")
+	routeVnodes := fs.Int("route-vnodes", 0, "virtual nodes per node on the -route hash ring (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,6 +168,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	}
 	if len(watches) > 0 && *tailPolls <= 0 {
 		return fmt.Errorf("-watch-tail-polls must be positive, got %d", *tailPolls)
+	}
+
+	// Router mode: no engine, no datasets — just the consistent-hash proxy.
+	if *route != "" {
+		if *follow != "" || *dataDir != "" || len(loads) > 0 || len(watches) > 0 {
+			return fmt.Errorf("-route is stateless; it cannot be combined with -follow, -data, -load, or -watch")
+		}
+		var nodes []string
+		for _, n := range strings.Split(*route, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+		if len(nodes) == 0 {
+			return fmt.Errorf("-route needs at least one node URL")
+		}
+		rt := replica.NewRouter(nodes, replica.RouterOptions{Vnodes: *routeVnodes})
+		fmt.Fprintf(stderr, "routing over %d nodes: %s\n", len(nodes), strings.Join(nodes, ", "))
+		return serveHTTP(ctx, *addr, rt.Handler(), *drain, stdout, stderr, ready)
+	}
+	if *follow != "" {
+		if *dataDir != "" || len(loads) > 0 || len(watches) > 0 {
+			return fmt.Errorf("-follow mirrors the primary's datasets; it cannot be combined with -data, -load, or -watch")
+		}
+		if *followEvery <= 0 {
+			return fmt.Errorf("-follow-interval must be positive, got %v", *followEvery)
+		}
 	}
 
 	svc := service.New(*cacheSize)
@@ -276,31 +327,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		}()
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
-	srv := &http.Server{Handler: service.NewHandler(svc)}
-	fmt.Fprintf(stdout, "ajdlossd listening on http://%s\n", ln.Addr())
-	if ready != nil {
-		ready(ln.Addr())
+	// Follower mode: mark the service read-only (writes 421 to the primary)
+	// and start the replication tail alongside the HTTP server.
+	if *follow != "" {
+		svc.SetPrimary(*follow)
+		f := replica.NewFollower(svc, *follow, replica.FollowerOptions{
+			Interval: *followEvery,
+			Logf:     func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) },
+		})
+		followCtx, stopFollow := context.WithCancel(ctx)
+		var followWG sync.WaitGroup
+		followWG.Add(1)
+		go func() {
+			defer followWG.Done()
+			_ = f.Run(followCtx)
+		}()
+		defer func() {
+			stopFollow()
+			followWG.Wait()
+		}()
+		fmt.Fprintf(stderr, "following primary at %s (sync every %v)\n", *follow, *followEvery)
 	}
 
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
-	fmt.Fprintln(stderr, "ajdlossd: shutting down...")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
-	}
-	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := serveHTTP(ctx, *addr, service.NewHandler(svc), *drain, stdout, stderr, ready); err != nil {
 		return err
 	}
 	if durable {
@@ -315,6 +364,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		for _, err := range svc.CheckpointAll() {
 			fmt.Fprintln(stderr, "ajdlossd: shutdown checkpoint:", err)
 		}
+	}
+	return nil
+}
+
+// serveHTTP binds addr, serves h until ctx is cancelled, then drains
+// gracefully. The "listening" line goes to stdout for scripts to scrape.
+func serveHTTP(ctx context.Context, addr string, h http.Handler, drain time.Duration, stdout, stderr io.Writer, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: h}
+	fmt.Fprintf(stdout, "ajdlossd listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stderr, "ajdlossd: shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReplicationKillPrimary is the replication acceptance test: a durable
+// primary, a follower tailing it, and a router over both. The primary is
+// SIGKILLed mid-append; the router must keep answering reads from the
+// follower, and once the primary restarts over the same -data the follower
+// must converge to byte-identical /v1/{ns}/batch responses.
+func TestReplicationKillPrimary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+	csv := filepath.Join(dir, "block.csv")
+	var rows strings.Builder
+	rows.WriteString("A,B,C\n")
+	for c := 1; c <= 3; c++ {
+		for a := 1; a <= 2; a++ {
+			for b := 1; b <= 2; b++ {
+				fmt.Fprintf(&rows, "%d,%d,%d\n", 10*c+a, 100*c+b, c)
+			}
+		}
+	}
+	if err := os.WriteFile(csv, []byte(rows.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	primaryURL, killPrimary := childDaemon(t, "-data", dataDir, "-load", "block="+csv)
+	// The primary must come back on the same address after the kill — the
+	// follower and the router hold its URL.
+	primaryAddr := strings.TrimPrefix(primaryURL, "http://")
+
+	followerURL, killFollower := childDaemon(t, "-follow", primaryURL, "-follow-interval", "100ms")
+	defer killFollower()
+	routerURL, killRouter := childDaemon(t, "-route", primaryURL+","+followerURL)
+	defer killRouter()
+
+	batchBody := []byte(`{"dataset":"block","queries":[
+		{"kind":"entropy","attrs":["A","B","C"]},
+		{"kind":"mi","a":["A"],"b":["B"]},
+		{"kind":"distinct","attrs":["A","B","C"]}]}`)
+	batchOf := func(base string) ([]byte, int) {
+		resp, err := http.Post(base+"/v1/default/batch", "application/json", bytes.NewReader(batchBody))
+		if err != nil {
+			return nil, 0
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.Bytes(), resp.StatusCode
+	}
+	waitConverged := func(stage string) []byte {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		var p, f []byte
+		for time.Now().Before(deadline) {
+			var ps, fs int
+			p, ps = batchOf(primaryURL)
+			f, fs = batchOf(followerURL)
+			if ps == 200 && fs == 200 && bytes.Equal(p, f) {
+				return p
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		t.Fatalf("%s: follower never converged\nprimary:  %s\nfollower: %s", stage, p, f)
+		return nil
+	}
+
+	// Seed some acked appends, then require convergence.
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf("%d,%d,%d\n", 500+i, 600+i, 5)
+		httpPostBody(t, primaryURL+"/v1/default/datasets/block/append", "text/csv", []byte(body))
+	}
+	waitConverged("before kill")
+
+	// Direct writes to the follower are refused with the typed redirect.
+	resp, err := http.Post(followerURL+"/v1/default/datasets/block/append", "text/csv", strings.NewReader("1,2,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("append to follower: status %d, want 421", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Ajdloss-Primary"); got != primaryURL {
+		t.Fatalf("421 names primary %q, want %q", got, primaryURL)
+	}
+
+	// Kill the primary mid-append: appenders hammer it, the kill lands while
+	// they run, and everything from the kill onward is allowed to fail.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := fmt.Sprintf("%d,%d,%d\n", 1000+10*g+i, 2000+10*g+i, 7+g)
+				resp, err := http.Post(primaryURL+"/v1/default/datasets/block/append", "text/csv", strings.NewReader(body))
+				if err != nil {
+					return // the kill landed
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	time.Sleep(300 * time.Millisecond)
+	killPrimary()
+	close(stop)
+	wg.Wait()
+
+	// With the primary dead, reads through the router fail over to the
+	// follower: both a proxied dataset route and a batch must still answer.
+	if body, status := batchOf(routerURL); status != 200 {
+		t.Fatalf("router batch with primary dead: status %d: %s", status, body)
+	}
+	schemaResp, err := http.Get(routerURL + "/v1/default/datasets/block/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemaResp.Body.Close()
+	if schemaResp.StatusCode != 200 {
+		t.Fatalf("router schema read with primary dead: status %d", schemaResp.StatusCode)
+	}
+
+	// Restart the primary on the same address over the same -data; the
+	// follower (still tailing the same URL) must converge to byte-identical
+	// batch responses with the recovered state.
+	_, killPrimary2 := childDaemon(t, "-addr", primaryAddr, "-data", dataDir, "-load", "block="+csv)
+	defer killPrimary2()
+	converged := waitConverged("after primary restart")
+
+	// The router now answers with those same bytes no matter which node the
+	// ring picks.
+	if body, status := batchOf(routerURL); status != 200 || !bytes.Equal(body, converged) {
+		t.Fatalf("router batch after recovery: status %d\n got %s\nwant %s", status, body, converged)
+	}
+
+	// A write through the router lands on the primary even if the ring owner
+	// is the follower (the router follows the 421 redirect), and the follower
+	// then mirrors it.
+	out := httpPostBody(t, routerURL+"/v1/default/datasets/block/append", "text/csv", []byte("9991,9992,9\n"))
+	if !bytes.Contains(out, []byte(`"appended": 1`)) {
+		t.Fatalf("append through router: %s", out)
+	}
+	waitConverged("after routed append")
+}

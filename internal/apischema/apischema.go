@@ -347,6 +347,25 @@ func ErrorEnvelope() *Schema {
 	}
 }
 
+// RedirectError is the body of a follower's 421 Misdirected Request: the
+// ordinary error envelope plus the primary's base URL, which is also echoed
+// in the X-Ajdloss-Primary response header.
+func RedirectError() *Schema {
+	return &Schema{
+		ID:      "/v1/schemas/redirect_error",
+		Dialect: dialect,
+		Title:   "Follower write redirect",
+		Description: "421 response body from a read-only follower: the write was refused here and should be " +
+			"retried against the primary at the given base URL (also sent as the X-Ajdloss-Primary header).",
+		Type: "object",
+		Properties: map[string]*Schema{
+			"error":   strings1(),
+			"primary": strings1(),
+		},
+		Required: []string{"error", "primary"},
+	}
+}
+
 // DatasetSchema describes the response of GET /v1/{ns}/datasets/{name}/schema
 // — the self-description a client reads before composing batch queries.
 func DatasetSchema() *Schema {
@@ -390,6 +409,7 @@ func Published() map[string]*Schema {
 		"batch_request":  BatchRequest(),
 		"append_request": AppendRequest(),
 		"error":          ErrorEnvelope(),
+		"redirect_error": RedirectError(),
 		"dataset_schema": DatasetSchema(),
 	}
 }

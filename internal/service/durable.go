@@ -291,6 +291,9 @@ func (s *Service) Checkpoint(name string) (*CheckpointView, error) {
 // namespace.
 func (s *Service) CheckpointIn(ns, name string) (*CheckpointView, error) {
 	nsObj := s.reg.lookupNS(ns)
+	if err := s.reg.errIfFollower(); err != nil {
+		return nil, s.reject(nsObj, err)
+	}
 	d, ok := s.reg.GetIn(ns, name)
 	if !ok {
 		return nil, s.reject(nsObj, fmt.Errorf("service: %w %q", ErrUnknownDataset, name))

@@ -84,11 +84,9 @@ func NewHandler(s *Service) http.Handler {
 		// not be able to OOM the long-running daemon.
 		d, err := s.Registry().Register(name, http.MaxBytesReader(w, r.Body, maxUploadBytes), !noHeader)
 		if err != nil {
-			status := http.StatusBadRequest
+			status := statusFor(err)
 			if errors.Is(err, ErrAlreadyRegistered) {
 				status = http.StatusConflict
-			} else if errors.Is(err, ErrQuotaExceeded) {
-				status = http.StatusTooManyRequests
 			}
 			writeError(w, status, err)
 			return
@@ -147,6 +145,10 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, v)
 	})
 	mux.HandleFunc("DELETE /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.FollowerError(); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
 		name := r.PathValue("name")
 		if !s.Remove(name) {
 			writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown dataset %q", name))
@@ -252,6 +254,12 @@ func statusFor(err error) int {
 	if errors.Is(err, ErrQuotaExceeded) {
 		return http.StatusTooManyRequests
 	}
+	if errors.Is(err, ErrNotPrimary) {
+		// 421 Misdirected Request: the request is fine, this node is a
+		// read-only follower — retry against the primary named in the
+		// X-Ajdloss-Primary header (set by writeError).
+		return http.StatusMisdirectedRequest
+	}
 	if errors.Is(err, ErrStore) {
 		return http.StatusInternalServerError
 	}
@@ -342,6 +350,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	// A follower's write rejection names its primary in a header as well as
+	// the body, so clients (and the fan-out router) can redirect without
+	// parsing the error string.
+	var np *NotPrimaryError
+	if errors.As(err, &np) {
+		w.Header().Set("X-Ajdloss-Primary", np.Primary)
+		// The body carries the primary too (the published redirect_error
+		// schema), for clients that only see decoded JSON.
+		writeJSON(w, status, map[string]string{"error": err.Error(), "primary": np.Primary})
+		return
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 

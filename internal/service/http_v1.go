@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"ajdloss/internal/apischema"
+	"ajdloss/internal/persist"
 	"ajdloss/internal/relation"
 )
 
@@ -308,12 +310,65 @@ func registerV1(mux *http.ServeMux, s *Service) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		if err := s.FollowerError(); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
 		name := r.PathValue("name")
 		if !s.RemoveIn(ns, name) {
 			writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown dataset %q", name))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"namespace": ns, "removed": name})
+	})
+	// Replication export surface: a follower bootstraps a dataset from
+	// .../snapshot (the exact current frozen state in checkpoint wire format)
+	// and then tails .../wal?from=gen — raw CRC-framed WAL records with
+	// generation > gen, re-verified end to end on the follower. A cursor the
+	// primary has compacted past answers 410 Gone with the horizon generation
+	// in X-Ajdloss-Horizon: the follower must re-bootstrap from the snapshot.
+	mux.HandleFunc("GET /v1/{ns}/datasets/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		ns, err := nsParam(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		data, gen, err := s.SnapshotExport(ns, r.PathValue("name"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Ajdloss-Generation", strconv.FormatInt(gen, 10))
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("GET /v1/{ns}/datasets/{name}/wal", func(w http.ResponseWriter, r *http.Request) {
+		ns, err := nsParam(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		from := int64(0)
+		if v := r.URL.Query().Get("from"); v != "" {
+			from, err = strconv.ParseInt(v, 10, 64)
+			if err != nil || from < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad generation cursor from=%q", v))
+				return
+			}
+		}
+		raw, maxGen, err := s.WALExport(ns, r.PathValue("name"), from)
+		if err != nil {
+			if errors.Is(err, persist.ErrCompacted) {
+				w.Header().Set("X-Ajdloss-Horizon", strconv.FormatInt(maxGen, 10))
+				writeError(w, http.StatusGone, err)
+				return
+			}
+			writeError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Ajdloss-Max-Generation", strconv.FormatInt(maxGen, 10))
+		_, _ = w.Write(raw)
 	})
 	mux.HandleFunc("GET /v1/{ns}/analyze", func(w http.ResponseWriter, r *http.Request) {
 		ns, err := nsParam(r)

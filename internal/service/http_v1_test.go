@@ -220,7 +220,7 @@ func TestV1SchemasEndpoint(t *testing.T) {
 		t.Fatalf("schemas index: %d %v", code, body)
 	}
 	names := body["schemas"].([]any)
-	if len(names) != 4 {
+	if len(names) != 5 {
 		t.Fatalf("schemas index: %v", names)
 	}
 	for _, n := range names {

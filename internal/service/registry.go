@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,10 @@ type Dataset struct {
 	// view stay unset until the first query or append materializes them (see
 	// ensure). Info/List are served from the checkpoint header meanwhile.
 	lazy *lazyState
+	// removed latches (under appendMu) when the dataset leaves the registry:
+	// an Append through a stale pointer grabbed before the removal must fail
+	// instead of reserving quota rows that no remove will ever return.
+	removed atomic.Bool
 	// compacting latches the one in-flight background checkpoint triggered by
 	// WAL growth, so a burst of appends cannot pile up compactions.
 	compacting atomic.Bool
@@ -212,6 +217,12 @@ func (d *Dataset) Append(records [][]string, header bool) (added, dups, rows int
 	}
 	d.appendMu.Lock()
 	defer d.appendMu.Unlock()
+	// A remove may have won the lock first: the dataset's rows have already
+	// been returned to the namespace budget, so appending through this stale
+	// pointer would reserve rows nothing will ever release.
+	if d.removed.Load() {
+		return 0, 0, 0, 0, fmt.Errorf("service: %w %q", ErrUnknownDataset, d.Name)
+	}
 	cur := d.View()
 	attrs := d.Rel.Attrs()
 	if header {
@@ -301,6 +312,10 @@ type Registry struct {
 	// initial checkpoint, Append write-ahead-logs batches, Remove deletes the
 	// dataset's directory. Set once (before serving) via Service durability.
 	store *persist.Store
+	// primary, when non-nil, marks this registry as a read-only follower of
+	// the primary at that base URL: writes fail with a NotPrimaryError (HTTP
+	// 421) naming it. The replica apply paths bypass the guard.
+	primary atomic.Pointer[string]
 }
 
 // NewRegistry returns an empty registry whose legacy methods operate on the
@@ -318,6 +333,29 @@ func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, er
 	return g.RegisterIn(g.DefaultNamespace(), name, r, header)
 }
 
+// validateDatasetName rejects names the API cannot address. "schemas" and
+// "namespaces" are literal /v1 path words (the schema index and the
+// namespace list), so a dataset carrying either name could be registered but
+// then shadow — or be shadowed by — those routes depending on mux
+// precedence; better a clear 400 at registration than a dataset that exists
+// but cannot be reached. Slashes never survive path routing, and "." / ".."
+// are path navigation, not names. Everything else is allowed: names are
+// URL-escaped by clients, and recovery adopts legacy names unvalidated.
+func validateDatasetName(name string) error {
+	switch name {
+	case "":
+		return fmt.Errorf("service: dataset name must be non-empty")
+	case "schemas", "namespaces":
+		return fmt.Errorf("service: dataset name %q is reserved by the API router; choose another name", name)
+	case ".", "..":
+		return fmt.Errorf("service: invalid dataset name %q", name)
+	}
+	if strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("service: invalid dataset name %q: slashes cannot appear in a URL path segment", name)
+	}
+	return nil
+}
+
 // RegisterIn ingests a CSV stream under the given name inside a namespace,
 // creating the namespace (with the registry's default quotas) on first use.
 // Malformed CSV input (duplicate/empty header cells, ragged records) is
@@ -326,11 +364,14 @@ func (g *Registry) Register(name string, r io.Reader, header bool) (*Dataset, er
 // error; Remove it first. Registration is quota-checked: the namespace must
 // have a dataset slot and row budget for the whole ingested relation.
 func (g *Registry) RegisterIn(ns, name string, r io.Reader, header bool) (*Dataset, error) {
+	if err := g.errIfFollower(); err != nil {
+		return nil, err
+	}
 	if ns == "" {
 		return nil, fmt.Errorf("service: namespace must be non-empty")
 	}
-	if name == "" {
-		return nil, fmt.Errorf("service: dataset name must be non-empty")
+	if err := validateDatasetName(name); err != nil {
+		return nil, err
 	}
 	// Cheap pre-check before paying for ingestion: a taken name fails here
 	// without decoding the body. The authoritative check under the write
@@ -516,27 +557,83 @@ func (g *Registry) Remove(name string) (*Dataset, bool) {
 // RemoveIn deregisters (namespace, name) and returns the removed dataset, if
 // any. A durable dataset's directory (checkpoint + WAL) is deleted too: a
 // removed dataset must not resurrect on the next boot. The dataset's rows go
-// back to the namespace's quota budget.
+// back to the namespace's quota budget — retire() reads the final row count
+// under the append lock, so an append racing the remove either lands first
+// (and its rows are counted in what gets released) or loses and fails on the
+// removed latch; either way the namespace total balances to zero and a
+// register→remove loop can never bleed -quota-rows dry.
 func (g *Registry) RemoveIn(ns, name string) (*Dataset, bool) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	n := g.namespaces[ns]
 	if n == nil {
+		g.mu.Unlock()
 		return nil, false
 	}
 	d, ok := n.byName[name]
 	if ok {
 		delete(n.byName, name)
-		n.rows.Add(-int64(d.Info().Rows))
-		d.closeLazy()
-		if d.store != nil {
-			d.store.Close()
-			if g.store != nil {
-				_ = g.store.Remove(ns, name) // best-effort; a leftover dir only costs disk
-			}
+	}
+	store := g.store
+	g.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	// Quiesce and release outside g.mu: retire blocks on the dataset's append
+	// lock (a WAL fsync can take milliseconds), and holding the registry lock
+	// through that would stall every request to every dataset.
+	d.retire()
+	if d.store != nil {
+		d.store.Close()
+		if store != nil {
+			_ = store.Remove(ns, name) // best-effort; a leftover dir only costs disk
 		}
 	}
-	return d, ok
+	return d, true
+}
+
+// retire finalizes a dataset that has been unlinked from the registry: it
+// waits out any in-flight append (serializing on the append lock), latches
+// removed so later appends through stale pointers fail cleanly, returns the
+// dataset's final row count to the namespace budget, and releases the lazy
+// checkpoint handle if one is still open.
+func (d *Dataset) retire() {
+	d.appendMu.Lock()
+	d.removed.Store(true)
+	rows := int64(d.Info().Rows)
+	d.appendMu.Unlock()
+	if d.ns != nil {
+		d.ns.rows.Add(-rows)
+	}
+	d.closeLazy()
+}
+
+// adoptReplace installs a replica-built dataset under (ns, name), replacing
+// any existing one within a single registry lock acquisition so concurrent
+// readers always resolve the name to a complete dataset — a follower
+// re-bootstrapping from a fresh snapshot must never open a 404 window. The
+// replaced dataset (nil when the name was free) is returned for the caller
+// to retire outside the lock. Quotas are not checked: a replica mirrors data
+// its primary already admitted, exactly like crash recovery.
+func (g *Registry) adoptReplace(ns, name string, rel *relation.Relation, enc *relation.Encoder) (old, d *Dataset, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := g.ensureNSLocked(ns)
+	old = n.byName[name]
+	g.nextID++
+	d = &Dataset{
+		ID:           g.nextID,
+		Namespace:    ns,
+		Name:         name,
+		Rel:          rel,
+		Enc:          enc,
+		RegisteredAt: time.Now(),
+		ns:           n,
+	}
+	d.keyPrefix = nsPrefix(ns) + datasetPrefix(d.ID)
+	d.view.Store(rel.View())
+	n.rows.Add(int64(rel.N()))
+	n.byName[name] = d
+	return old, d, nil
 }
 
 // All returns every registered dataset across all namespaces, sorted by

@@ -46,6 +46,10 @@ type Stats struct {
 	// generation of the latest checkpoint, and how many checkpoints this
 	// dataset has written. Absent when the service runs without a store.
 	Durability map[string]DatasetDurability `json:"durability,omitempty"`
+	// Replication is the follower's replication state (primary, lag, applied
+	// totals); absent on a primary or standalone node, so the legacy /stats
+	// shape is unchanged everywhere replication is off.
+	Replication *ReplicationView `json:"replication,omitempty"`
 }
 
 // DatasetDurability is one dataset's durable state as surfaced in Stats.
@@ -77,6 +81,10 @@ type Service struct {
 	// dataset; set by EnableDurability from the store's options.
 	compactAt int64
 
+	// replication is the follower's published replication state (see
+	// SetReplication); nil on a primary or standalone node.
+	replication atomic.Pointer[ReplicationView]
+
 	skippedMu sync.Mutex
 	skipped   map[string]int64 // per-watched-dataset dropped line counts
 }
@@ -105,7 +113,14 @@ func (s *Service) Remove(name string) bool {
 }
 
 // RemoveIn deregisters (namespace, dataset) and drops its cached results.
+// HTTP DELETE handlers additionally guard with FollowerError first — this
+// method cannot carry the typed 421, and the replica tail needs the
+// unguarded path (ReplicaRemove) to mirror the primary's removals.
 func (s *Service) RemoveIn(ns, name string) bool {
+	return s.removeIn(ns, name)
+}
+
+func (s *Service) removeIn(ns, name string) bool {
 	d, ok := s.reg.RemoveIn(ns, name)
 	if ok {
 		s.cache.RemovePrefix(d.keyPrefix)
@@ -148,6 +163,7 @@ func (s *Service) Stats() Stats {
 			Checkpoints:    ckpts,
 		}
 	}
+	st.Replication = s.replication.Load()
 	s.skippedMu.Lock()
 	if len(s.skipped) > 0 {
 		st.SkippedLines = make(map[string]int64, len(s.skipped))
@@ -341,6 +357,13 @@ func (s *Service) AppendIn(ns, dataset string, records [][]string, header bool) 
 	nsObj := s.reg.lookupNS(ns)
 	if nsObj != nil {
 		nsObj.appends.Add(1)
+	}
+	if err := s.reg.errIfFollower(); err != nil {
+		s.errors.Add(1)
+		if nsObj != nil {
+			nsObj.errors.Add(1)
+		}
+		return nil, err
 	}
 	d, err := s.dataset(ns, dataset)
 	if err != nil {
