@@ -1,0 +1,129 @@
+package ajdloss
+
+// Property-based parity harness for incremental discovery: testing/quick
+// draws random relations and random append-batch sequences, and after every
+// batch the discovery memo — which serves materialized Chow-Liu/MVD/FD
+// results and refreshes them scope-wise against the extended snapshot chain
+// — must agree *bit-for-bit* with a cold recompute over a from-scratch
+// relation of the same rows. The memo is queried before every append too, so
+// each refresh is genuinely warm: per-FD g₃ states advance over only the
+// appended rows, never a full rescan.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ajdloss/internal/discovery"
+	"ajdloss/internal/fd"
+	"ajdloss/internal/relation"
+	"ajdloss/internal/schemagen"
+)
+
+// discoverScenario is one random incremental-discovery scenario: a base
+// relation plus a sequence of append batches over a small random schema.
+type discoverScenario struct {
+	Arity   int
+	Domain  int
+	Base    []relation.Tuple
+	Batches [][]relation.Tuple
+}
+
+// Generate implements quick.Generator. Arity ≥ 2 so Chow-Liu is defined;
+// schemas stay small so the harness can afford full FD discovery per batch.
+func (discoverScenario) Generate(r *rand.Rand, _ int) reflect.Value {
+	s := discoverScenario{Arity: 2 + r.Intn(3), Domain: 2 + r.Intn(3)}
+	draw := func(n int) []relation.Tuple {
+		rows := make([]relation.Tuple, n)
+		for i := range rows {
+			t := make(relation.Tuple, s.Arity)
+			for c := range t {
+				t[c] = relation.Value(r.Intn(s.Domain) + 1)
+			}
+			rows[i] = t
+		}
+		return rows
+	}
+	s.Base = draw(1 + r.Intn(25))
+	for b := 1 + r.Intn(4); b > 0; b-- {
+		s.Batches = append(s.Batches, draw(r.Intn(12))) // empty batches allowed
+	}
+	return reflect.ValueOf(s)
+}
+
+// discoverDigest serializes one full discovery suite down to float bits, so
+// two digests compare equal iff every result is bit-identical.
+func discoverDigest(t *testing.T, chowLiu func() (discovery.Candidate, error),
+	mvds func() ([]discovery.MVDCandidate, error), fds func() ([]fd.Discovered, error)) string {
+	t.Helper()
+	var b strings.Builder
+	cand, err := chowLiu()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "chowliu %s %016x\n", cand.Tree.String(), math.Float64bits(cand.J))
+	ms, err := mvds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		fmt.Fprintf(&b, "mvd X=%v G=%v J=%016x\n", m.X, m.Groups, math.Float64bits(m.J))
+	}
+	ds, err := fds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(fd.Canonical(ds))
+	for _, d := range ds {
+		fmt.Fprintf(&b, "fd %s %016x %016x\n", d.FD.String(), math.Float64bits(d.G3), math.Float64bits(d.H))
+	}
+	return b.String()
+}
+
+func TestQuickDiscoverMemoParity(t *testing.T) {
+	cfg := fd.DiscoverConfig{MaxLHS: 2, MaxG3: 0.25}
+	property := func(s discoverScenario) bool {
+		attrs := schemagen.AttrNames(s.Arity)
+		streamed := relation.FromRows(attrs, s.Base)
+		memo := discovery.NewMemo()
+		check := func(bi int) bool {
+			rebuilt := relation.FromRows(attrs, streamed.Rows())
+			got := discoverDigest(t,
+				func() (discovery.Candidate, error) { return memo.ChowLiu(streamed) },
+				func() ([]discovery.MVDCandidate, error) { return memo.FindMVDs(streamed, 1, 0.01) },
+				func() ([]fd.Discovered, error) { return memo.DiscoverFDs(streamed, cfg) })
+			want := discoverDigest(t,
+				func() (discovery.Candidate, error) { return discovery.ChowLiu(rebuilt) },
+				func() ([]discovery.MVDCandidate, error) { return discovery.FindMVDs(rebuilt, 1, 0.01) },
+				func() ([]fd.Discovered, error) { return fd.Discover(rebuilt, cfg) })
+			if got != want {
+				t.Logf("batch %d: memo diverged from cold rebuild:\n got:\n%s want:\n%s", bi, got, want)
+				return false
+			}
+			return true
+		}
+		if !check(-1) { // generation 1, before any append: the cold fill
+			return false
+		}
+		for bi, batch := range s.Batches {
+			if _, err := streamed.Append(batch); err != nil {
+				t.Fatal(err)
+			}
+			if !check(bi) {
+				return false
+			}
+		}
+		return true
+	}
+	qc := &quick.Config{
+		MaxCount: 250, // acceptance floor is 200 random append sequences
+		Rand:     rand.New(rand.NewSource(20230807)),
+	}
+	if err := quick.Check(property, qc); err != nil {
+		t.Fatal(err)
+	}
+}

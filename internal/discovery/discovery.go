@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"ajdloss/internal/core"
+	"ajdloss/internal/engine"
 	"ajdloss/internal/infotheory"
 	"ajdloss/internal/jointree"
 	"ajdloss/internal/relation"
@@ -95,46 +96,71 @@ func (c Candidate) Schema() *jointree.Schema { return c.Tree.Schema() }
 // bags all have size two.
 func ChowLiu(r *relation.Relation) (Candidate, error) {
 	attrs := r.Attrs()
-	n := len(attrs)
-	if n < 2 {
-		return Candidate{}, fmt.Errorf("discovery: Chow-Liu needs ≥2 attributes, got %d", n)
+	if len(attrs) < 2 {
+		return Candidate{}, fmt.Errorf("discovery: Chow-Liu needs ≥2 attributes, got %d", len(attrs))
 	}
+	mis, err := pairMIs(r.Snapshot(), attrs)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return chowLiuFromMIs(r, attrs, mis)
+}
+
+// pairMIs computes the full pairwise mutual-information matrix of attrs
+// against the snapshot; mis[k] is I(attrs[i];attrs[j]) for the k-th (i<j)
+// pair in row-major order.
+//
+// The O(n²) MI matrix dominates Chow-Liu. It runs as one engine plan: all
+// singleton entropies (level 1 of the lattice, each needed by n−1 pairs) and
+// all pair entropies (level 2) execute parents-first on a bounded worker
+// pool, each refinement computed exactly once. Combining the memoized
+// entropies into MI values is then a cheap serial pass, deterministic by
+// construction.
+func pairMIs(snap *engine.Snapshot, attrs []string) ([]float64, error) {
+	n := len(attrs)
+	plan := snap.Plan()
+	for i := 0; i < n; i++ {
+		if err := plan.AddEntropy(attrs[i]); err != nil {
+			return nil, err
+		}
+		for j := i + 1; j < n; j++ {
+			if err := plan.AddEntropy(attrs[i], attrs[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	plan.Run(0)
+	mis := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mi, err := infotheory.MutualInformation(snap, []string{attrs[i]}, []string{attrs[j]})
+			if err != nil {
+				return nil, err
+			}
+			mis = append(mis, mi)
+		}
+	}
+	return mis, nil
+}
+
+// chowLiuFromMIs builds the Chow-Liu candidate from a pairwise MI matrix (in
+// pairMIs order): maximum spanning tree by Kruskal, bags from the tree's
+// edges, J-measure against r. Deterministic given the MI values — the pair
+// sort breaks ties by index — so bit-identical MIs yield an identical
+// candidate.
+func chowLiuFromMIs(r *relation.Relation, attrs []string, mis []float64) (Candidate, error) {
+	n := len(attrs)
 	type pair struct {
 		i, j int
 		mi   float64
 	}
-	pairs := make([]pair, 0, n*(n-1)/2)
+	pairs := make([]pair, 0, len(mis))
+	k := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, pair{i: i, j: j})
+			pairs = append(pairs, pair{i: i, j: j, mi: mis[k]})
+			k++
 		}
-	}
-	// The O(n²) pairwise-MI matrix dominates Chow-Liu. Run it as one engine
-	// plan against the relation's snapshot: all singleton entropies (level 1
-	// of the lattice, each needed by n−1 pairs) and all pair entropies
-	// (level 2) execute parents-first on a bounded worker pool, each
-	// refinement computed exactly once. Combining the memoized entropies into
-	// MI values is then a cheap serial pass, deterministic by construction.
-	snap := r.Snapshot()
-	plan := snap.Plan()
-	for i := 0; i < n; i++ {
-		if err := plan.AddEntropy(attrs[i]); err != nil {
-			return Candidate{}, err
-		}
-	}
-	for _, p := range pairs {
-		if err := plan.AddEntropy(attrs[p.i], attrs[p.j]); err != nil {
-			return Candidate{}, err
-		}
-	}
-	plan.Run(0)
-	for k := range pairs {
-		p := &pairs[k]
-		mi, err := infotheory.MutualInformation(snap, []string{attrs[p.i]}, []string{attrs[p.j]})
-		if err != nil {
-			return Candidate{}, err
-		}
-		p.mi = mi
 	}
 	sort.Slice(pairs, func(a, b int) bool {
 		if pairs[a].mi != pairs[b].mi {

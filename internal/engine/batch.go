@@ -70,6 +70,16 @@ func (q *Query) addToPlan(p *Plan) error {
 	}
 }
 
+// AddToPlan adds the lattice nodes q needs to p, validating the query shape —
+// the per-query planning half of RunBatch, exported so callers that answer
+// some kinds out of band (the service's incremental FD path) can still share
+// one parents-first plan across a whole batch.
+func (q *Query) AddToPlan(p *Plan) error { return q.addToPlan(p) }
+
+// Eval answers q from the snapshot's memo; the lattice work must have been
+// done by a prior plan run (see AddToPlan). The evaluation half of RunBatch.
+func (q *Query) Eval(s *Snapshot) (Result, error) { return q.eval(s) }
+
 // eval answers q against the snapshot; all lattice work was done by the plan,
 // so this only combines memoized values (plus an O(n) scan for fd's g₃).
 func (q *Query) eval(s *Snapshot) (Result, error) {

@@ -95,6 +95,11 @@ type Snapshot struct {
 	colMin []Value
 	colMax []Value
 
+	// deltas are the per-extend change records of the chain this snapshot
+	// ends (newest last, at most maxDeltaChain retained); Delta queries read
+	// them. Immutable once the snapshot is published.
+	deltas []deltaRecord
+
 	mu      sync.Mutex
 	memo    map[string]*memoEntry
 	entropy map[string]float64
@@ -409,6 +414,27 @@ func (s *Snapshot) Extend(fresh []Tuple) *Snapshot {
 		entropy: make(map[string]float64),
 	}
 
+	// Record this extend's delta summary: the row range, which dictionaries
+	// grew, and (below, as each level publishes) how many groups every
+	// memoized grouping gained. The parent's record slice is copied, never
+	// appended to in place — siblings extended from the same parent must not
+	// share backing storage.
+	rec := deltaRecord{
+		fromGen:  s.gen,
+		fromRows: s.n,
+		toRows:   child.n,
+		dictGrew: make([]bool, len(cols)),
+		gained:   make(map[string]int, len(entries)),
+	}
+	for c := range cols {
+		rec.dictGrew[c] = colMin[c] != s.colMin[c] || colMax[c] != s.colMax[c]
+	}
+	prior := s.deltas
+	if len(prior) >= maxDeltaChain {
+		prior = prior[len(prior)-maxDeltaChain+1:]
+	}
+	child.deltas = append(append(make([]deltaRecord, 0, len(prior)+1), prior...), rec)
+
 	// Extend parents-first (shorter column sets first): a child's appended ids
 	// are derived from its parent's, and the memo's prefix closure guarantees
 	// the parent entry is present. Entries of one lattice level have no data
@@ -451,8 +477,9 @@ func (s *Snapshot) Extend(fresh []Tuple) *Snapshot {
 		forEach(len(level), workers, func(i int) {
 			extended[i] = extendOne(level[i])
 		})
-		for _, ent := range extended {
+		for i, ent := range extended {
 			child.memo[colsKey(ent.cols)] = ent
+			rec.gained[colsKey(ent.cols)] = len(ent.g.Counts) - len(level[i].g.Counts)
 		}
 		lo = hi
 	}

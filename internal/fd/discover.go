@@ -27,6 +27,17 @@ type Discovered struct {
 // determines A within the error budget. Results are sorted by (|X|, g₃,
 // text).
 func Discover(r Source, cfg DiscoverConfig) ([]Discovered, error) {
+	return DiscoverWith(r, cfg, func(f FD) (float64, error) { return G3Error(r, f) })
+}
+
+// DiscoverWith is Discover with a caller-supplied g₃ evaluator. The search —
+// candidate enumeration, minimality pruning, result order — is a
+// deterministic function of the g₃ values alone, so an evaluator returning
+// values bit-identical to G3Error (e.g. G3State advanced incrementally along
+// a snapshot chain) yields output bit-identical to Discover while paying
+// only for the appended rows. H(Y|X) is still read from r's memoized
+// entropies, and only for candidates within the error budget.
+func DiscoverWith(r Source, cfg DiscoverConfig, g3Of func(FD) (float64, error)) ([]Discovered, error) {
 	maxLHS := cfg.MaxLHS
 	if maxLHS <= 0 {
 		maxLHS = 2
@@ -54,7 +65,7 @@ func Discover(r Source, cfg DiscoverConfig) ([]Discovered, error) {
 			return nil
 		}
 		f := FD{X: x, Y: []string{a}}
-		g3, err := G3Error(r, f)
+		g3, err := g3Of(f)
 		if err != nil {
 			return err
 		}

@@ -81,7 +81,10 @@ func NewFollower(svc *service.Service, primaryURL string, opts FollowerOptions) 
 	}
 	client := opts.Client
 	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+		// The poll loop hits the same primary every interval; the shared
+		// router transport keeps that connection persistent instead of
+		// re-dialing per poll.
+		client = &http.Client{Timeout: 30 * time.Second, Transport: routerTransport}
 	}
 	return &Follower{
 		svc:     svc,

@@ -506,3 +506,51 @@ func BenchmarkReplicaTail(b *testing.B) {
 	b.StopTimer()
 	_ = time.Now()
 }
+
+// benchRouterHop measures one proxied read hop (router → node) under
+// parallel load with the given client (nil = the router's tuned default).
+// The request is LRU-cached on the node, so the measurement isolates the
+// HTTP hop itself — connection reuse, not analysis time.
+func benchRouterHop(b *testing.B, client *http.Client) {
+	svc := service.New(64)
+	mustRegister(b, svc, "default", "block", blockCSV(3, 2, 2))
+	node := httptest.NewServer(service.NewHandler(svc))
+	b.Cleanup(node.Close)
+	rt := NewRouter([]string{node.URL}, RouterOptions{Client: client})
+	router := httptest.NewServer(rt.Handler())
+	b.Cleanup(router.Close)
+	url := router.URL + "/v1/default/entropy?dataset=block&attrs=A"
+	// The load generator gets a generously pooled transport of its own, so
+	// the client → router leg never competes for idle connections and the
+	// numbers isolate the router → node leg under comparison.
+	outer := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	b.Cleanup(outer.CloseIdleConnections)
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := outer.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %s", resp.Status)
+			}
+		}
+	})
+}
+
+// BenchmarkRouterHop uses the router's default client: the shared transport
+// with per-host idle pools sized for a node fleet.
+func BenchmarkRouterHop(b *testing.B) { benchRouterHop(b, nil) }
+
+// BenchmarkRouterHopDefaultTransport is the before-number: a plain client on
+// http.DefaultTransport (2 idle connections per host), which re-dials the
+// node on most parallel hops.
+func BenchmarkRouterHopDefaultTransport(b *testing.B) {
+	benchRouterHop(b, &http.Client{Timeout: 60 * time.Second})
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"sync/atomic"
+
+	"ajdloss/internal/discovery"
 )
 
 // ErrQuotaExceeded marks requests rejected because a namespace is at one of
@@ -126,6 +128,12 @@ type NamespaceStats struct {
 	Errors    int64 `json:"errors"`
 	Appends   int64 `json:"appends"`
 	Batches   int64 `json:"batches"`
+
+	// Discovery holds the per-dataset discovery-memo counters, keyed by
+	// dataset name; a dataset appears once a discovery request (or batch FD
+	// query) has touched its memo. Absent while no dataset in the namespace
+	// has one.
+	Discovery map[string]discovery.MemoCounters `json:"discovery,omitempty"`
 }
 
 // lookupNS returns the namespace if it exists; nil otherwise. Counters on a
@@ -213,6 +221,16 @@ func (g *Registry) NamespaceStats(ns string) (NamespaceStats, bool) {
 	}
 	g.mu.RLock()
 	datasets := len(n.byName)
+	var disc map[string]discovery.MemoCounters
+	for name, d := range n.byName {
+		if d.memo.Load() == nil {
+			continue
+		}
+		if disc == nil {
+			disc = make(map[string]discovery.MemoCounters)
+		}
+		disc[name] = d.DiscoverCounters()
+	}
 	g.mu.RUnlock()
 	return NamespaceStats{
 		Namespace:       ns,
@@ -228,5 +246,6 @@ func (g *Registry) NamespaceStats(ns string) (NamespaceStats, bool) {
 		Errors:          n.errors.Load(),
 		Appends:         n.appends.Load(),
 		Batches:         n.batches.Load(),
+		Discovery:       disc,
 	}, true
 }

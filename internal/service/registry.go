@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ajdloss/internal/discovery"
 	"ajdloss/internal/infotheory"
 	"ajdloss/internal/persist"
 	"ajdloss/internal/relation"
@@ -60,6 +61,16 @@ type Dataset struct {
 	// appendMu serializes writers (appends). Readers never touch it.
 	appendMu sync.Mutex
 	view     atomic.Pointer[relation.Relation]
+
+	// memo holds the dataset's materialized discovery results (Chow-Liu
+	// candidate, mined MVDs, discovered FDs), created lazily on the first
+	// discovery request. Appends do NOT clear it: every entry is stamped with
+	// the generation it was computed at, and the memo refreshes itself
+	// scope-wise — recomputing only the invalidated lattice/FD nodes against
+	// the extended snapshot chain — when a request arrives at a newer
+	// generation. Contrast with the service result cache, which an append
+	// evicts wholesale by key prefix.
+	memo atomic.Pointer[discovery.Memo]
 
 	// store, when non-nil, is the dataset's durability state: Append writes a
 	// WAL record before publishing the new view, and checkpoints fold the WAL
@@ -157,6 +168,29 @@ func (d *Dataset) closeLazy() {
 		l.ck = nil
 	}
 	l.recs = nil
+}
+
+// discoverMemo returns the dataset's discovery memo, creating it on first
+// use. Lock-free: concurrent first callers race one CompareAndSwap and all
+// end up sharing the single installed memo.
+func (d *Dataset) discoverMemo() *discovery.Memo {
+	if m := d.memo.Load(); m != nil {
+		return m
+	}
+	m := discovery.NewMemo()
+	if d.memo.CompareAndSwap(nil, m) {
+		return m
+	}
+	return d.memo.Load()
+}
+
+// DiscoverCounters returns the dataset's discovery-memo counters (zero if no
+// discovery request has touched it yet).
+func (d *Dataset) DiscoverCounters() discovery.MemoCounters {
+	if m := d.memo.Load(); m != nil {
+		return m.Counters()
+	}
+	return discovery.MemoCounters{}
 }
 
 // View returns the dataset's current frozen view: one atomic load, no locks.

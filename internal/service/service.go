@@ -50,6 +50,12 @@ type Stats struct {
 	// totals); absent on a primary or standalone node, so the legacy /stats
 	// shape is unchanged everywhere replication is off.
 	Replication *ReplicationView `json:"replication,omitempty"`
+	// Discovery aggregates the discovery-memo counters across every dataset:
+	// how many discovery answers were served from materialized results, how
+	// many lattice/FD nodes warm refreshes recomputed, and how many full cold
+	// materializations ran. Absent until the first discovery request touches a
+	// memo; per-dataset breakdowns live in the namespace stats.
+	Discovery *discovery.MemoCounters `json:"discovery,omitempty"`
 }
 
 // DatasetDurability is one dataset's durable state as surfaced in Stats.
@@ -142,6 +148,15 @@ func (s *Service) Stats() Stats {
 	}
 	defaultNS := s.reg.DefaultNamespace()
 	for _, d := range s.reg.All() {
+		if d.memo.Load() != nil {
+			if st.Discovery == nil {
+				st.Discovery = &discovery.MemoCounters{}
+			}
+			c := d.DiscoverCounters()
+			st.Discovery.Hits += c.Hits
+			st.Discovery.RecomputedNodes += c.RecomputedNodes
+			st.Discovery.ColdRuns += c.ColdRuns
+		}
 		if d.store == nil {
 			continue
 		}
@@ -415,7 +430,7 @@ func (s *Service) DiscoverIn(ns, dataset string, target float64, maxSep int) (*D
 	keyGen := rel.Generation()
 	key := requestKey(d, keyGen) + "discover|" + strconv.FormatFloat(target, 'g', -1, 64) + "|" + strconv.Itoa(maxSep)
 	v, err := s.do(d, key, keyGen, func() (any, error) {
-		view, err := s.discover(d.Name, rel, target, maxSep)
+		view, err := s.discover(d, rel, target, maxSep)
 		if err != nil {
 			return nil, err
 		}
@@ -428,9 +443,17 @@ func (s *Service) DiscoverIn(ns, dataset string, target float64, maxSep int) (*D
 	return v.(*DiscoverView), nil
 }
 
-// discover runs the discovery suite against one frozen view.
-func (s *Service) discover(name string, rel *relation.Relation, target float64, maxSep int) (*DiscoverView, error) {
-	cl, err := discovery.ChowLiu(rel)
+// discover runs the discovery suite against one frozen view. The Chow-Liu
+// candidate and the MVD mining go through the dataset's discovery memo: a
+// repeat request at the same generation is served from the materialized
+// result, and a request after appends recomputes only the invalidated
+// lattice nodes against the extended snapshot chain — bit-identical to the
+// cold run either way. Coarsening and the ρ losses are derived from those
+// results per request (they depend on the request's target).
+func (s *Service) discover(d *Dataset, rel *relation.Relation, target float64, maxSep int) (*DiscoverView, error) {
+	name := d.Name
+	memo := d.discoverMemo()
+	cl, err := memo.ChowLiu(rel)
 	if err != nil {
 		return nil, err
 	}
@@ -449,7 +472,7 @@ func (s *Service) discover(name string, rel *relation.Relation, target float64, 
 			return nil, err
 		}
 	}
-	mvds, err := discovery.FindMVDs(rel, maxSep, target)
+	mvds, err := memo.FindMVDs(rel, maxSep, target)
 	if err != nil {
 		return nil, err
 	}
@@ -614,28 +637,48 @@ func (s *Service) BatchIn(ns, dataset string, qs []BatchQuery) (*BatchView, erro
 	keyGen := rel.Generation()
 	key := requestKey(d, keyGen) + "batch|" + batchKey(eqs)
 	v, err := s.do(d, key, keyGen, func() (any, error) {
-		results, err := rel.Snapshot().RunBatch(eqs, 0)
-		if err != nil {
-			return nil, fmt.Errorf("service: batch: %w", err)
+		// One parents-first plan still covers every query's lattice nodes
+		// (shared refinements computed once on the pool, as RunBatch would),
+		// but fd queries are answered through the dataset's discovery memo:
+		// its per-FD integer g₃ state advances over only the rows appended
+		// since the FD was last asked, instead of rescanning all n rows per
+		// request. Answers are bit-identical to the engine's fd kind.
+		snap := rel.Snapshot()
+		p := snap.Plan()
+		for i := range eqs {
+			if err := eqs[i].AddToPlan(p); err != nil {
+				return nil, fmt.Errorf("service: batch: query %d: %w", i+1, err)
+			}
 		}
+		p.Run(0)
+		memo := d.discoverMemo()
 		view := &BatchView{
 			Dataset:    d.Name,
 			Rows:       rel.N(),
 			Generation: keyGen,
 			Results:    make([]BatchResultView, len(qs)),
 		}
-		for i, res := range results {
+		for i := range eqs {
 			rv := BatchResultView{Query: qs[i]}
 			switch eqs[i].Kind {
 			case "fd":
-				holds, g3 := res.Holds, res.G3
+				holds, g3, err := memo.FD(rel, eqs[i].X, eqs[i].Y)
+				if err != nil {
+					return nil, fmt.Errorf("service: batch: query %d: %w", i+1, err)
+				}
 				rv.Holds, rv.G3 = &holds, &g3
-			case "distinct":
-				distinct := res.Distinct
-				rv.Distinct = &distinct
 			default:
-				nats, bits := res.Nats, infotheory.Bits(res.Nats)
-				rv.Nats, rv.Bits = &nats, &bits
+				res, err := eqs[i].Eval(snap)
+				if err != nil {
+					return nil, fmt.Errorf("service: batch: query %d: %w", i+1, err)
+				}
+				if eqs[i].Kind == "distinct" {
+					distinct := res.Distinct
+					rv.Distinct = &distinct
+				} else {
+					nats, bits := res.Nats, infotheory.Bits(res.Nats)
+					rv.Nats, rv.Bits = &nats, &bits
+				}
 			}
 			view.Results[i] = rv
 		}
