@@ -1,0 +1,98 @@
+// Command ajdlint runs the repository's invariant analyzers (internal/lint)
+// over a set of packages and exits non-zero when any enforced diagnostic
+// survives suppression.
+//
+// Usage:
+//
+//	ajdlint [-list] [-only name[,name]] [-no-advisory] [packages...]
+//
+// Packages default to ./... relative to the current directory. Diagnostics
+// print one per line as file:line:col: analyzer: message. Advisory analyzers
+// (fieldalign) print with an "advisory:" prefix and never affect the exit
+// code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ajdloss/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	noAdvisory := flag.Bool("no-advisory", false, "suppress advisory diagnostics from the output")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ajdlint [-list] [-only name,...] [-no-advisory] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			kind := "enforced"
+			if a.Advisory {
+				kind = "advisory"
+			}
+			fmt.Printf("%-14s %s\n%14s %s\n", a.Name, kind, "", a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var picked []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "ajdlint: unknown analyzer %q (see ajdlint -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ajdlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadPackages(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ajdlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ajdlint:", err)
+		os.Exit(2)
+	}
+	failing := 0
+	for _, d := range diags {
+		if d.Advisory {
+			if !*noAdvisory {
+				fmt.Printf("%s: advisory: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+			}
+			continue
+		}
+		failing++
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "ajdlint: %d diagnostic(s)\n", failing)
+		os.Exit(1)
+	}
+}

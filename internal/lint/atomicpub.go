@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicPub flags plain (non-atomic) accesses to fields that are elsewhere
+// accessed through sync/atomic address-based operations.
+//
+// Invariant (PR 4): values published across goroutines without a lock —
+// the current snapshot pointer, counters read by the stats endpoint — go
+// through atomic operations on *every* access. One plain read mixed in is a
+// data race that the happens-before edges of the other accesses do not fix;
+// one plain write can tear. The module's production code uses the typed
+// atomics (atomic.Int64, atomic.Pointer) which make mixing impossible at
+// the type level; this analyzer covers the address-based style
+// (atomic.LoadInt64(&x.f)) where the compiler cannot help, so a future
+// contributor reaching for atomic.AddInt64 on a struct field gets the same
+// protection.
+//
+// Detection: any field whose address is taken in an argument to a
+// sync/atomic function anywhere in the package becomes an "atomic field";
+// every other plain selector read or write of the same field object is
+// flagged. The &x.f inside the atomic calls themselves is blessed.
+var AtomicPub = &Analyzer{
+	Name: "atomicpub",
+	Doc: "flags plain reads/writes of struct fields that are elsewhere accessed via sync/atomic " +
+		"operations; a single non-atomic access is a data race the atomic ones cannot repair",
+	Run: runAtomicPub,
+}
+
+func runAtomicPub(pass *Pass) error {
+	atomicFields := make(map[types.Object]bool)
+	blessed := make(map[*ast.SelectorExpr]bool)
+
+	// Pass 1: find &x.f arguments to sync/atomic package functions.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				selection, ok := pass.TypesInfo.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					continue
+				}
+				atomicFields[selection.Obj()] = true
+				blessed[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selection of those fields is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || blessed[sel] {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			obj := selection.Obj()
+			if !atomicFields[obj] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic "+
+				"operations elsewhere in this package: use the matching atomic Load/Store (or a typed "+
+				"atomic) — one non-atomic access is a data race", obj.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FieldAlign is an advisory analyzer that points out struct layouts wasting
+// space to padding. It never fails the build: field order in this module is
+// often chosen for cache locality of the hot path or for readability, both
+// of which can be worth a few bytes. The advisory exists for the types that
+// get allocated per-row or per-request, where padding multiplies.
+var FieldAlign = &Analyzer{
+	Name:     "fieldalign",
+	Advisory: true,
+	Doc: "advisory: reports struct types whose field order wastes bytes to alignment padding " +
+		"compared to the best ordering; informational only, never fails the build",
+	Run: runFieldAlign,
+}
+
+// fieldAlignSizes is the layout model: the gc compiler on amd64, which is
+// what production runs.
+var fieldAlignSizes = types.SizesFor("gc", "amd64")
+
+func runFieldAlign(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok || st.NumFields() < 2 {
+					continue
+				}
+				current := fieldAlignSizes.Sizeof(st)
+				best := optimalStructSize(st)
+				if best < current {
+					pass.Reportf(ts.Name.Pos(),
+						"struct %s is %d bytes; reordering fields by decreasing alignment would make it %d "+
+							"(saves %d bytes per value)", ts.Name.Name, current, best, current-best)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// optimalStructSize computes the size the struct would have with its fields
+// sorted by decreasing alignment, then decreasing size — the standard
+// padding-minimizing order (zero-sized fields go last so they never force
+// tail padding for a following field's address).
+func optimalStructSize(st *types.Struct) int64 {
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	sort.SliceStable(fields, func(i, j int) bool {
+		ai, aj := fieldAlignSizes.Alignof(fields[i].Type()), fieldAlignSizes.Alignof(fields[j].Type())
+		if ai != aj {
+			return ai > aj
+		}
+		si, sj := fieldAlignSizes.Sizeof(fields[i].Type()), fieldAlignSizes.Sizeof(fields[j].Type())
+		if (si == 0) != (sj == 0) {
+			return sj == 0
+		}
+		return si > sj
+	})
+	// Rebuild with fresh vars: types.NewStruct panics on reused field
+	// objects' uniqueness only across the same struct, so clone.
+	cloned := make([]*types.Var, len(fields))
+	for i, f := range fields {
+		cloned[i] = types.NewField(f.Pos(), f.Pkg(), fmt.Sprintf("f%d", i), f.Type(), false)
+	}
+	return fieldAlignSizes.Sizeof(types.NewStruct(cloned, nil))
+}

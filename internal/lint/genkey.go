@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GenKey flags result-cache and singleflight keys that do not incorporate
+// the dataset generation.
+//
+// Invariant (PR 3/PR 4): every LRU-cache and singleflight key embeds the
+// generation of the frozen view the computation runs against, so a cached
+// pre-append result can never answer a post-append request. In code, "embeds
+// the generation" means the key string derives from requestKey(d, gen) —
+// the one helper that renders namespace + dataset identity + generation.
+//
+// The analyzer checks every keyed call — lruCache.Get/Add, flightGroup.Do,
+// and Service.do — and requires the key argument to be derived (through
+// local assignments, string concatenation, or fmt.Sprintf) from either a
+// requestKey call or a string parameter named "key" of an enclosing
+// function. The parameter escape hatch is what makes the check compositional
+// without whole-program analysis: a helper taking `key string` is trusted
+// here, and every *call site* of such a helper that is itself a keyed call
+// (like Service.do) is checked in turn.
+var GenKey = &Analyzer{
+	Name: "genkey",
+	Doc: "flags cache/singleflight keys not derived from requestKey (which embeds the dataset " +
+		"generation); generation-free keys can serve one generation's cached result to another",
+	Run: runGenKey,
+}
+
+// genKeyedCalls maps receiver type name -> method name -> index of the key
+// argument. The receiver types are matched by name so fixture packages can
+// model them; within this module they are unique to internal/service.
+var genKeyedCalls = map[string]map[string]int{
+	"lruCache":    {"Get": 0, "Add": 0},
+	"flightGroup": {"Do": 0},
+	"Service":     {"do": 1},
+}
+
+func runGenKey(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkGenKeys(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// keyArgIndex returns the key-argument index if call is a keyed call.
+func keyArgIndex(pass *Pass, call *ast.CallExpr) (int, bool) {
+	callee := calleeOf(pass.TypesInfo, call)
+	recv := recvTypeOf(callee)
+	if recv == nil {
+		return 0, false
+	}
+	named := namedOf(recv)
+	if named == nil {
+		return 0, false
+	}
+	methods, ok := genKeyedCalls[named.Obj().Name()]
+	if !ok {
+		return 0, false
+	}
+	idx, ok := methods[callee.Name()]
+	if !ok || idx >= len(call.Args) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// checkGenKeys runs the taint pass over one top-level function (closures
+// included: captured locals keep their taint, which is how the key parameter
+// of Service.do flows into the singleflight closure).
+func checkGenKeys(pass *Pass, fn *ast.FuncDecl) {
+	tainted := make(map[types.Object]bool)
+
+	// Seed: string parameters named "key" of the function and of every
+	// closure inside it. The obligation to build such parameters from
+	// requestKey moves to the callers.
+	seedParams := func(ft *ast.FuncType) {
+		if ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if name.Name != "key" {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					if basic, ok := obj.Type().Underlying().(*types.Basic); ok && basic.Kind() == types.String {
+						tainted[obj] = true
+					}
+				}
+			}
+		}
+	}
+	seedParams(fn.Type)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			seedParams(lit.Type)
+		}
+		return true
+	})
+
+	var exprTainted func(e ast.Expr) bool
+	exprTainted = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return tainted[pass.TypesInfo.Uses[e]]
+		case *ast.BinaryExpr:
+			return exprTainted(e.X) || exprTainted(e.Y)
+		case *ast.CallExpr:
+			if callee := calleeOf(pass.TypesInfo, e); callee != nil {
+				if callee.Name() == "requestKey" {
+					return true
+				}
+				// fmt.Sprintf and friends propagate taint from any argument;
+				// so does a string conversion.
+				if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+					for _, arg := range e.Args {
+						if exprTainted(arg) {
+							return true
+						}
+					}
+					return false
+				}
+			}
+			if len(e.Args) == 1 { // possible conversion
+				return exprTainted(e.Args[0])
+			}
+			return false
+		}
+		return false
+	}
+
+	// Propagate through simple assignments to a fixpoint: key := requestKey(...)
+	// + "analyze|" + ..., then key += suffix, etc.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				ident, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ident]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[ident]
+				}
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				if exprTainted(assign.Rhs[i]) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		idx, keyed := keyArgIndex(pass, call)
+		if !keyed {
+			return true
+		}
+		if !exprTainted(call.Args[idx]) {
+			callee := calleeOf(pass.TypesInfo, call)
+			pass.Reportf(call.Args[idx].Pos(),
+				"key passed to %s is not derived from requestKey: cache/singleflight keys must embed "+
+					"the dataset generation or results from different generations can be confused",
+				callee.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir for the given patterns
+// and returns the decoded packages. -export makes the build system produce
+// (or reuse from the build cache) compiler export data for every listed
+// package, which is how the type checker resolves imports without a module
+// proxy: the lookup importer below reads those files directly.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter is a types.Importer resolving every import from compiler
+// export data files (the Export field of `go list -export`).
+type exportImporter struct {
+	base    types.ImporterFrom
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	imp := &exportImporter{exports: exports}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp.base = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return imp
+}
+
+func (imp *exportImporter) Import(path string) (*types.Package, error) {
+	return imp.base.ImportFrom(path, "", 0)
+}
+
+// LoadPackages loads and type-checks the packages matching patterns in the
+// module rooted at (or above) dir. Test files are not loaded: the invariants
+// target production code, and _test.go files regularly violate them on
+// purpose to prove they matter.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		exports[p.ImportPath] = p.Export
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheckDir(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// typeCheckDir parses the named files of one directory and type-checks them
+// as the package at importPath, resolving imports through imp.
+func typeCheckDir(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// treeImporter resolves imports for fixture trees (testdata/src): an import
+// path whose directory exists under the tree root is type-checked from
+// source (recursively, cached), shadowing any real package of the same path;
+// anything else falls through to export data from the enclosing module's
+// dependency closure. This mirrors analysistest's GOPATH-shaped testdata
+// convention, so fixtures can impersonate real packages like
+// ajdloss/internal/engine with a few lines of stub.
+type treeImporter struct {
+	root     string
+	fset     *token.FileSet
+	fallback types.Importer
+	cache    map[string]*Package
+	loading  map[string]bool
+}
+
+func (imp *treeImporter) Import(path string) (*types.Package, error) {
+	pkg, err := imp.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg != nil {
+		return pkg.Types, nil
+	}
+	return imp.fallback.Import(path)
+}
+
+// load returns the source-loaded package for path, nil if path is not in the
+// tree.
+func (imp *treeImporter) load(path string) (*Package, error) {
+	if pkg, ok := imp.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(imp.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil // not in the tree: caller falls back to export data
+	}
+	if imp.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q in fixture tree", path)
+	}
+	imp.loading[path] = true
+	defer delete(imp.loading, path)
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("lint: fixture package %q has no Go files", path)
+	}
+	sort.Strings(goFiles)
+	pkg, err := typeCheckDir(imp.fset, imp, path, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	imp.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadTree loads fixture packages by import path from a GOPATH-shaped source
+// tree rooted at srcDir (testdata/src). moduleDir supplies export data for
+// standard-library imports; fixtures may import anything in the enclosing
+// module's dependency closure.
+func LoadTree(srcDir, moduleDir string, paths []string) ([]*Package, error) {
+	listed, err := goList(moduleDir, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		exports[p.ImportPath] = p.Export
+	}
+	fset := token.NewFileSet()
+	imp := &treeImporter{
+		root:     srcDir,
+		fset:     fset,
+		fallback: newExportImporter(fset, exports),
+		cache:    make(map[string]*Package),
+		loading:  make(map[string]bool),
+	}
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := imp.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: fixture package %q not found under %s", path, srcDir)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

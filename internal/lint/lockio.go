@@ -1,0 +1,438 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LockIO flags file and network IO performed while a mutex is held.
+//
+// Invariant (PR 5/PR 9): the registry mutex and each dataset's appendMu
+// guard in-memory state on the request path; disk and network latencies
+// under them turn one slow fsync into a head-of-line block for every tenant.
+// The hardening passes moved checkpoint writes, WAL shipping, and HTTP
+// fan-out outside the critical sections — this analyzer keeps them there.
+//
+// The check is a block-structured held-set walk: Lock()/RLock() on a
+// sync.Mutex/RWMutex adds that mutex expression (rendered as text) to the
+// held set, Unlock()/RUnlock() removes it, `defer mu.Unlock()` keeps the
+// mutex held to the end of the function, and any IO call while the set is
+// non-empty is flagged. Function literals start with an empty held set
+// (goroutines and stored closures run elsewhere), except when immediately
+// invoked. IO means: os file operations (opens, writes, renames, fsync),
+// net and net/http calls, and the persist-layer store methods that touch
+// disk.
+//
+// The persist package itself is exempt: it IS the disk layer, and its
+// per-dataset file mutexes exist precisely to serialize file access —
+// flagging IO under them would flag the package's whole purpose. The
+// invariant protects the layers above, where locks guard memory.
+//
+// The one designed exception in those layers — the WAL append inside
+// Dataset.Append, which must be ordered under appendMu for replay
+// correctness — carries an ajdlint:ignore with its reason.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc: "flags file/network IO while a sync.Mutex or RWMutex is held; IO under the registry or " +
+		"append locks serializes every tenant behind one disk or peer latency",
+	Run: runLockIO,
+}
+
+// lockAcquire / lockRelease map method names on sync mutex types.
+var lockAcquire = map[string]bool{"Lock": true, "RLock": true}
+var lockRelease = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// osPureFuncs are os package functions that do no IO worth flagging:
+// in-memory path math, env reads, process identity.
+var osPureFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+	"Getpid": true, "Getppid": true, "Getuid": true, "Geteuid": true,
+	"Hostname": true, "TempDir": true, "UserHomeDir": true, "UserCacheDir": true,
+	"Expand": true, "ExpandEnv": true, "IsNotExist": true, "IsExist": true,
+	"IsPermission": true, "IsTimeout": true, "NewSyscallError": true,
+	"Exit": true,
+}
+
+// storePureMethods are methods on the persist store types that only read
+// already-resident memory (header fields, counters) — everything else on
+// those receivers hits the disk.
+var storePureMethods = map[string]bool{
+	"WALBytes": true, "LastCheckpoint": true, "CompactAt": true,
+	"Header": true, "Generation": true, "Name": true,
+}
+
+// persistPathSuffix matches the module's disk layer.
+const persistPathSuffix = "internal/persist"
+
+func runLockIO(pass *Pass) error {
+	if pathHasSuffix(pass.Pkg.Path(), persistPathSuffix) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				walkLockIO(pass, fn.Body, newHeldSet())
+			}
+		}
+	}
+	return nil
+}
+
+// heldSet tracks which mutex expressions are currently held, keyed by their
+// source rendering (e.g. "r.mu", "d.appendMu"). Source text is the right
+// identity here: the walk is lexical, and within one function the same
+// mutex is named the same way.
+type heldSet struct {
+	held map[string]bool
+}
+
+func newHeldSet() *heldSet { return &heldSet{held: make(map[string]bool)} }
+
+func (h *heldSet) clone() *heldSet {
+	c := newHeldSet()
+	for k := range h.held {
+		c.held[k] = true
+	}
+	return c
+}
+
+func (h *heldSet) any() bool { return len(h.held) > 0 }
+
+func (h *heldSet) names() string {
+	parts := make([]string, 0, len(h.held))
+	for k := range h.held {
+		parts = append(parts, k)
+	}
+	// Deterministic order for stable messages.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// mutexRecv returns the rendered receiver expression when call is
+// Lock/RLock/Unlock/RUnlock on a sync.Mutex or sync.RWMutex, plus whether it
+// acquires (true) or releases (false).
+func mutexRecv(pass *Pass, call *ast.CallExpr) (string, bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	acquire := lockAcquire[name]
+	release := lockRelease[name]
+	if !acquire && !release {
+		return "", false, false
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if !isNamed(recv, "sync", "Mutex") && !isNamed(recv, "sync", "RWMutex") {
+		return "", false, false
+	}
+	return exprText(sel.X), acquire, true
+}
+
+// exprText renders a (small) expression back to source-ish text for use as a
+// mutex identity and in messages.
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.UnaryExpr:
+		return exprText(e.X)
+	case *ast.StarExpr:
+		return exprText(e.X)
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(...)"
+	}
+	return "?"
+}
+
+// walkLockIO walks a statement block, threading the held set through it.
+// Branches are walked with clones; after a branch the conservative union of
+// the still-live branches' exits is kept (a mutex locked in only one branch
+// stays "held" afterwards — over-approximate, but lexically-paired
+// Lock/Unlock, which is all this module writes, never hits that case).
+func walkLockIO(pass *Pass, body *ast.BlockStmt, held *heldSet) {
+	for _, stmt := range body.List {
+		walkLockIOStmt(pass, stmt, held)
+	}
+}
+
+func walkLockIOStmt(pass *Pass, stmt ast.Stmt, held *heldSet) {
+	switch s := stmt.(type) {
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held for the remainder of the
+		// function body — deliberately NOT removed from the set. Any other
+		// deferred call is scanned with the current held state (it runs at
+		// function exit, where the lexical walk can no longer see what is
+		// held; current state is the best lexical approximation and is exact
+		// for the defer-unlock idiom used throughout this module).
+		if _, acquire, isMutex := mutexRecv(pass, s.Call); isMutex && !acquire {
+			return
+		}
+		checkIOExpr(pass, s.Call, held)
+	case *ast.ExprStmt:
+		walkLockIOExpr(pass, s.X, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			walkLockIOExpr(pass, rhs, held)
+		}
+		for _, lhs := range s.Lhs {
+			walkLockIOExpr(pass, lhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			walkLockIOExpr(pass, r, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkLockIOStmt(pass, s.Init, held)
+		}
+		if s.Cond != nil {
+			walkLockIOExpr(pass, s.Cond, held)
+		}
+		thenHeld := held.clone()
+		walkLockIO(pass, s.Body, thenHeld)
+		elseHeld := held.clone()
+		if s.Else != nil {
+			walkLockIOStmt(pass, s.Else, elseHeld)
+		}
+		// Union of branch exits; terminated branches drop out.
+		held.held = make(map[string]bool)
+		if !terminates(s.Body) {
+			for k := range thenHeld.held {
+				held.held[k] = true
+			}
+		}
+		if s.Else == nil || !stmtTerminates(s.Else) {
+			for k := range elseHeld.held {
+				held.held[k] = true
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkLockIOStmt(pass, s.Init, held)
+		}
+		if s.Cond != nil {
+			walkLockIOExpr(pass, s.Cond, held)
+		}
+		walkLockIO(pass, s.Body, held)
+		if s.Post != nil {
+			walkLockIOStmt(pass, s.Post, held)
+		}
+	case *ast.RangeStmt:
+		walkLockIOExpr(pass, s.X, held)
+		walkLockIO(pass, s.Body, held)
+	case *ast.BlockStmt:
+		walkLockIO(pass, s, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkLockIOStmt(pass, s.Init, held)
+		}
+		if s.Tag != nil {
+			walkLockIOExpr(pass, s.Tag, held)
+		}
+		walkClauses(pass, s.Body, held)
+	case *ast.TypeSwitchStmt:
+		walkClauses(pass, s.Body, held)
+	case *ast.SelectStmt:
+		walkClauses(pass, s.Body, held)
+	case *ast.GoStmt:
+		// The goroutine runs on its own stack: empty held set.
+		walkLockIOExpr(pass, s.Call.Fun, newHeldSet())
+		for _, a := range s.Call.Args {
+			walkLockIOExpr(pass, a, held)
+		}
+	case *ast.LabeledStmt:
+		walkLockIOStmt(pass, s.Stmt, held)
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				walkLockIOExpr(pass, e, held)
+				return false
+			}
+			return true
+		})
+	case *ast.SendStmt:
+		walkLockIOExpr(pass, s.Chan, held)
+		walkLockIOExpr(pass, s.Value, held)
+	case *ast.IncDecStmt:
+		walkLockIOExpr(pass, s.X, held)
+	}
+}
+
+func walkClauses(pass *Pass, body *ast.BlockStmt, held *heldSet) {
+	exits := make(map[string]bool)
+	live := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		branch := held.clone()
+		for _, st := range stmts {
+			walkLockIOStmt(pass, st, branch)
+		}
+		if !stmtsTerminate(stmts) {
+			live = true
+			for k := range branch.held {
+				exits[k] = true
+			}
+		}
+	}
+	if live {
+		held.held = exits
+	}
+}
+
+// terminates reports whether a block always transfers control away
+// (return/panic/continue/break/goto as its last statement).
+func terminates(b *ast.BlockStmt) bool { return stmtsTerminate(b.List) }
+
+func stmtsTerminate(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && ident.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && stmtTerminates(s.Else)
+	}
+	return false
+}
+
+// walkLockIOExpr processes one expression: updates the held set on mutex
+// calls, reports IO calls under a held mutex, and descends into nested
+// calls. Function literals restart with an empty held set unless they are
+// immediately invoked.
+func walkLockIOExpr(pass *Pass, e ast.Expr, held *heldSet) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if name, acquire, isMutex := mutexRecv(pass, e); isMutex {
+			if acquire {
+				held.held[name] = true
+			} else {
+				delete(held.held, name)
+			}
+			return
+		}
+		// Immediately-invoked literal runs on this stack, under these locks.
+		if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+			walkLockIO(pass, lit.Body, held)
+		} else {
+			checkIOExpr(pass, e, held)
+		}
+		for _, a := range e.Args {
+			walkLockIOExpr(pass, a, held)
+		}
+	case *ast.FuncLit:
+		// Stored or passed elsewhere: analyzed with an empty held set.
+		walkLockIO(pass, e.Body, newHeldSet())
+	case *ast.BinaryExpr:
+		walkLockIOExpr(pass, e.X, held)
+		walkLockIOExpr(pass, e.Y, held)
+	case *ast.UnaryExpr:
+		walkLockIOExpr(pass, e.X, held)
+	case *ast.StarExpr:
+		walkLockIOExpr(pass, e.X, held)
+	case *ast.SelectorExpr:
+		walkLockIOExpr(pass, e.X, held)
+	case *ast.IndexExpr:
+		walkLockIOExpr(pass, e.X, held)
+		walkLockIOExpr(pass, e.Index, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			walkLockIOExpr(pass, el, held)
+		}
+	case *ast.KeyValueExpr:
+		walkLockIOExpr(pass, e.Value, held)
+	case *ast.TypeAssertExpr:
+		walkLockIOExpr(pass, e.X, held)
+	case *ast.SliceExpr:
+		walkLockIOExpr(pass, e.X, held)
+	}
+}
+
+// checkIOExpr reports e when it is an IO call and a mutex is held.
+func checkIOExpr(pass *Pass, call *ast.CallExpr, held *heldSet) {
+	if !held.any() {
+		return
+	}
+	kind := ioCallKind(pass, call)
+	if kind == "" {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s while holding %s: move the IO outside the critical section "+
+		"(capture under the lock, write after release) or every caller serializes behind it",
+		kind, held.names())
+}
+
+// ioCallKind classifies a call as IO, returning a short description or "".
+func ioCallKind(pass *Pass, call *ast.CallExpr) string {
+	callee := calleeOf(pass.TypesInfo, call)
+	if callee == nil {
+		return ""
+	}
+	pkg := callee.Pkg()
+	name := callee.Name()
+	recv := recvTypeOf(callee)
+	if recv == nil {
+		// Package-level function.
+		if pkg == nil {
+			return ""
+		}
+		switch pkg.Path() {
+		case "os":
+			if osPureFuncs[name] {
+				return ""
+			}
+			return "os." + name + " call"
+		case "net", "net/http":
+			return pkg.Path() + "." + name + " call"
+		case "io/ioutil":
+			return "ioutil." + name + " call"
+		}
+		return ""
+	}
+	named := namedOf(recv)
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	recvPkg := named.Obj().Pkg().Path()
+	recvName := named.Obj().Name()
+	switch {
+	case recvPkg == "os" && recvName == "File":
+		return "os.File." + name + " call"
+	case recvPkg == "net/http" && (recvName == "Client" || recvName == "Server"):
+		return "http." + recvName + "." + name + " call"
+	case pathHasSuffix(recvPkg, persistPathSuffix):
+		if storePureMethods[name] {
+			return ""
+		}
+		return "persist." + recvName + "." + name + " call"
+	}
+	return ""
+}

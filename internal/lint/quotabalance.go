@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// QuotaBalance flags functions whose error-return paths after a
+// namespace.reserveRows call release nothing.
+//
+// Invariant (PR 7/PR 8): row quotas are maintained by optimistic
+// reservation — reserveRows claims the batch before any side effect, and
+// every path that fails afterwards must return the claim via releaseRows
+// (or retire the whole dataset), otherwise the namespace budget leaks one
+// batch per failure until appends 429 forever. PR 8's bugfix sweep fixed
+// exactly this shape: error paths between reserveRows and the view publish
+// that returned without releasing.
+//
+// The check is intraprocedural and syntactic: inside a function that calls
+// reserveRows, every return statement after the call whose final result is
+// not the literal nil (i.e. an error-carrying return; nil-error returns are
+// the success path, where the reservation intentionally becomes real rows)
+// must be preceded — on its straight-line path, scanning the subtrees of
+// earlier statements in every enclosing block, the return's own expressions
+// included — by a call to releaseRows or retire, a deferred release, or a
+// call to a local closure containing one (the fail-closure idiom in
+// Registry.RegisterIn). Returns inside the if statement that tests the
+// reserveRows error itself are exempt: a failed reservation claims nothing.
+var QuotaBalance = &Analyzer{
+	Name: "quotabalance",
+	Doc: "flags error-return paths after namespace.reserveRows on which neither releaseRows nor " +
+		"retire is reachable; such paths leak reserved quota rows until the tenant is starved",
+	Run: runQuotaBalance,
+}
+
+var quotaReleaseNames = map[string]bool{
+	"releaseRows": true,
+	"retire":      true,
+}
+
+func runQuotaBalance(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkQuotaBalance(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// callName returns the bare method/function name a call invokes, or "".
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func checkQuotaBalance(pass *Pass, fn *ast.FuncDecl) {
+	// Pass 1: locate reserveRows calls and local closures that release.
+	var reservePos token.Pos = token.NoPos
+	releasingClosures := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if callName(n) == "reserveRows" && (reservePos == token.NoPos || n.Pos() < reservePos) {
+				reservePos = n.Pos()
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if lit, ok := n.Rhs[0].(*ast.FuncLit); ok && containsRelease(pass, lit.Body, nil) {
+					if ident, ok := n.Lhs[0].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[ident]; obj != nil {
+							releasingClosures[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if reservePos == token.NoPos {
+		return
+	}
+
+	// Returns need checking only when the function can report failure.
+	results := fn.Type.Results
+	if results == nil || results.NumFields() == 0 {
+		return
+	}
+	last := results.List[len(results.List)-1]
+	if !isErrorType(pass.TypesInfo.TypeOf(last.Type)) {
+		return
+	}
+
+	exemptReturns := reserveIfReturns(fn.Body)
+	checkReturnsIn(pass, fn.Body, nil, reservePos, exemptReturns, releasingClosures)
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named := namedOf(t)
+	return named != nil && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// reserveIfReturns collects the return statements that live inside an if
+// statement whose init or condition contains the reserveRows call: those
+// returns report the reservation failure itself, and nothing was claimed.
+func reserveIfReturns(body *ast.BlockStmt) map[*ast.ReturnStmt]bool {
+	exempt := make(map[*ast.ReturnStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		inGuard := false
+		check := func(e ast.Node) {
+			if e == nil {
+				return
+			}
+			ast.Inspect(e, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && callName(call) == "reserveRows" {
+					inGuard = true
+				}
+				return true
+			})
+		}
+		check(ifStmt.Init)
+		check(ifStmt.Cond)
+		if inGuard {
+			ast.Inspect(ifStmt.Body, func(m ast.Node) bool {
+				if r, ok := m.(*ast.ReturnStmt); ok {
+					exempt[r] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return exempt
+}
+
+// containsRelease reports whether the subtree contains a call to a releasing
+// method (releaseRows/retire) or to a known releasing closure. Nested
+// function literals are scanned too: a release inside a defer or closure on
+// this path still runs.
+func containsRelease(pass *Pass, n ast.Node, releasingClosures map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if quotaReleaseNames[callName(call)] {
+			found = true
+			return false
+		}
+		if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && releasingClosures != nil {
+			if obj := pass.TypesInfo.Uses[ident]; obj != nil && releasingClosures[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkReturnsIn walks the statement tree keeping the chain of enclosing
+// blocks, so each return statement can scan its straight-line predecessors.
+// enclosing is the stack of (block, index-of-current-statement) pairs.
+type blockFrame struct {
+	stmts []ast.Stmt
+	idx   int
+}
+
+func checkReturnsIn(pass *Pass, body *ast.BlockStmt, enclosing []blockFrame, reservePos token.Pos, exempt map[*ast.ReturnStmt]bool, closures map[types.Object]bool) {
+	frame := blockFrame{stmts: body.List}
+	for i, stmt := range body.List {
+		frame.idx = i
+		chain := append(enclosing, frame)
+		walkStmtForReturns(pass, stmt, chain, reservePos, exempt, closures)
+	}
+}
+
+// walkStmtForReturns descends into compound statements, tracking block
+// chains; on each return statement past the reserve it decides balance.
+func walkStmtForReturns(pass *Pass, stmt ast.Stmt, chain []blockFrame, reservePos token.Pos, exempt map[*ast.ReturnStmt]bool, closures map[types.Object]bool) {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		if s.Pos() < reservePos || exempt[s] {
+			return
+		}
+		if isNilErrorReturn(pass, s) {
+			return
+		}
+		if !releaseReachable(pass, s, chain, reservePos, closures) {
+			pass.Reportf(s.Pos(), "return path after reserveRows releases nothing: call releaseRows "+
+				"(or retire the dataset) before returning an error, or the namespace row budget leaks")
+		}
+	case *ast.BlockStmt:
+		checkReturnsIn(pass, s, chain, reservePos, exempt, closures)
+	case *ast.IfStmt:
+		if s.Body != nil {
+			checkReturnsIn(pass, s.Body, chain, reservePos, exempt, closures)
+		}
+		if s.Else != nil {
+			walkStmtForReturns(pass, s.Else, chain, reservePos, exempt, closures)
+		}
+	case *ast.ForStmt:
+		checkReturnsIn(pass, s.Body, chain, reservePos, exempt, closures)
+	case *ast.RangeStmt:
+		checkReturnsIn(pass, s.Body, chain, reservePos, exempt, closures)
+	case *ast.SwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for i, st := range cc.Body {
+					sub := append(chain, blockFrame{stmts: cc.Body, idx: i})
+					walkStmtForReturns(pass, st, sub, reservePos, exempt, closures)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for i, st := range cc.Body {
+					sub := append(chain, blockFrame{stmts: cc.Body, idx: i})
+					walkStmtForReturns(pass, st, sub, reservePos, exempt, closures)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				for i, st := range cc.Body {
+					sub := append(chain, blockFrame{stmts: cc.Body, idx: i})
+					walkStmtForReturns(pass, st, sub, reservePos, exempt, closures)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		walkStmtForReturns(pass, s.Stmt, chain, reservePos, exempt, closures)
+	}
+}
+
+// isNilErrorReturn reports whether the return's final result is the literal
+// nil — the success path, where the reservation became real rows.
+func isNilErrorReturn(pass *Pass, ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		// Naked return with named results: conservatively treat as a
+		// failure path (real code in this module never does this after a
+		// reservation).
+		return false
+	}
+	last := ast.Unparen(ret.Results[len(ret.Results)-1])
+	ident, ok := last.(*ast.Ident)
+	return ok && ident.Name == "nil" && pass.TypesInfo.Uses[ident] == types.Universe.Lookup("nil")
+}
+
+// releaseReachable scans the return statement itself plus the subtrees of
+// every earlier statement in its enclosing blocks (the straight-line
+// predecessors), counting only releases at or after the reservation —
+// except defers, which run at exit wherever they were registered.
+func releaseReachable(pass *Pass, ret *ast.ReturnStmt, chain []blockFrame, reservePos token.Pos, closures map[types.Object]bool) bool {
+	if containsRelease(pass, ret, closures) {
+		return true
+	}
+	for _, frame := range chain {
+		for i := 0; i < frame.idx; i++ {
+			stmt := frame.stmts[i]
+			if _, isDefer := stmt.(*ast.DeferStmt); !isDefer && stmt.End() < reservePos {
+				continue
+			}
+			if containsRelease(pass, stmt, closures) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// suppressionMarker is the comment prefix that silences one diagnostic:
+//
+//	//ajdlint:ignore <analyzer> <reason>
+//
+// The comment applies to diagnostics of the named analyzer on its own line
+// or on the line directly below it (so it can sit above a long statement).
+// The reason is mandatory: a suppression is a standing exception to a
+// machine-enforced invariant, and the next reader deserves to know why it
+// is safe. Malformed suppressions (no reason, unknown analyzer) and
+// suppressions that match nothing are diagnostics themselves, attributed to
+// the pseudo-analyzer "ajdlint" — they cannot be suppressed.
+const suppressionMarker = "//ajdlint:ignore"
+
+// suppressDiagName is the analyzer name carried by diagnostics about the
+// suppression comments themselves.
+const suppressDiagName = "ajdlint"
+
+type suppression struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// applySuppressions filters pkgDiags through the package's ajdlint:ignore
+// comments and appends diagnostics for malformed or unused suppressions.
+// ran is the set of analyzer names that actually executed: an unused
+// suppression is only reported when its analyzer ran (a fixture test running
+// one analyzer must not flag suppressions aimed at another).
+func applySuppressions(pkg *Package, pkgDiags []Diagnostic, ran map[string]bool) []Diagnostic {
+	var sups []suppression
+	known := knownAnalyzerNames()
+	out := make([]Diagnostic, 0, len(pkgDiags))
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, suppressionMarker) {
+					continue
+				}
+				rest := c.Text[len(suppressionMarker):]
+				pos := pkg.Fset.Position(c.Pos())
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other word starting with "ignore..."
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					out = append(out, Diagnostic{
+						Pos: pos, Analyzer: suppressDiagName,
+						Message: "ajdlint:ignore needs an analyzer name and a reason: //ajdlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					out = append(out, Diagnostic{
+						Pos: pos, Analyzer: suppressDiagName,
+						Message: "ajdlint:ignore names unknown analyzer " + strconv.Quote(name),
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					out = append(out, Diagnostic{
+						Pos: pos, Analyzer: suppressDiagName,
+						Message: "ajdlint:ignore " + name + " needs a reason: every suppression documents why the invariant holds anyway",
+					})
+					continue
+				}
+				sups = append(sups, suppression{pos: pos, analyzer: name, reason: strings.Join(fields[1:], " ")})
+			}
+		}
+	}
+	for _, d := range pkgDiags {
+		suppressed := false
+		for i := range sups {
+			s := &sups[i]
+			if s.analyzer != d.Analyzer || s.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if s.pos.Line == d.Pos.Line || s.pos.Line == d.Pos.Line-1 {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, s := range sups {
+		if !s.used && ran[s.analyzer] {
+			out = append(out, Diagnostic{
+				Pos: s.pos, Analyzer: suppressDiagName,
+				Message: "unused ajdlint:ignore for " + s.analyzer + ": nothing on this or the next line triggers it",
+			})
+		}
+	}
+	return out
+}
+
+// knownAnalyzerNames returns the set of valid analyzer names for ignore
+// comments.
+func knownAnalyzerNames() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}

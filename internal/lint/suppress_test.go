@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuppressions exercises the ajdlint:ignore machinery end to end on the
+// suppress/a fixture: a well-formed suppression filters its diagnostic, a
+// reason-less or unknown-analyzer suppression is itself a diagnostic, and a
+// suppression that matches nothing is flagged as unused.
+func TestSuppressions(t *testing.T) {
+	pkgs := loadFixture(t, "suppress/a")
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	find := func(analyzer, substr string) *Diagnostic {
+		for i := range diags {
+			if diags[i].Analyzer == analyzer && strings.Contains(diags[i].Message, substr) {
+				return &diags[i]
+			}
+		}
+		return nil
+	}
+
+	// The well-formed suppression in suppressed(): its atomicpub diagnostic
+	// must NOT be in the output, and it must not be reported as unused. The
+	// only surviving atomicpub diagnostic is the one under the reason-less
+	// suppression in missingReason().
+	var atomicpubCount int
+	for _, d := range diags {
+		if d.Analyzer == "atomicpub" {
+			atomicpubCount++
+		}
+	}
+	if atomicpubCount != 1 {
+		t.Errorf("want exactly 1 surviving atomicpub diagnostic (the one under the malformed suppression), got %d:\n%s",
+			atomicpubCount, diagList(diags))
+	}
+
+	if d := find(suppressDiagName, "needs a reason"); d == nil {
+		t.Errorf("missing 'needs a reason' diagnostic for the reason-less suppression:\n%s", diagList(diags))
+	}
+	if d := find(suppressDiagName, `unknown analyzer "frobnicator"`); d == nil {
+		t.Errorf("missing unknown-analyzer diagnostic:\n%s", diagList(diags))
+	}
+	if d := find(suppressDiagName, "unused ajdlint:ignore for atomicpub"); d == nil {
+		t.Errorf("missing unused-suppression diagnostic:\n%s", diagList(diags))
+	}
+
+	// Exactly the four expected diagnostics, nothing else.
+	if len(diags) != 4 {
+		t.Errorf("want 4 diagnostics total, got %d:\n%s", len(diags), diagList(diags))
+	}
+}
+
+// TestUnusedSuppressionScopedToRanAnalyzers: an unused suppression is only
+// reported when its analyzer actually ran, so fixture runs of one analyzer
+// do not trip over suppressions aimed at another.
+func TestUnusedSuppressionScopedToRanAnalyzers(t *testing.T) {
+	pkgs := loadFixture(t, "suppress/a")
+	diags, err := Run(pkgs, []*Analyzer{SnapshotMut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unused ajdlint:ignore") {
+			t.Errorf("unused-suppression diagnostic for an analyzer that did not run: %s", d)
+		}
+	}
+}
+
+func diagList(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,40 @@
+// Package engine is a fixture stand-in for the real ajdloss/internal/engine:
+// same import path (the fixture tree shadows the module), same Snapshot
+// shape, but with an exported field so cross-package mutation fixtures can
+// compile. The real Snapshot's fields are unexported — which is itself part
+// of the defense — so the cross-package violation below is only expressible
+// here.
+package engine
+
+// Snapshot mimics the real frozen view: fields set on the construction path,
+// a memo map filled lazily (map fills are not field writes).
+type Snapshot struct {
+	Gen  int64
+	Rows int
+	memo map[string]float64
+}
+
+// NewSnapshotAt is on the constructor allowlist: these writes are legal.
+func NewSnapshotAt(gen int64) *Snapshot {
+	s := &Snapshot{memo: make(map[string]float64)}
+	s.Gen = gen // allowed: constructor owns the unpublished value
+	return s
+}
+
+// Extend is on the allowlist: it writes fields of the child it is building.
+func (s *Snapshot) Extend(rows int) *Snapshot {
+	child := NewSnapshotAt(s.Gen + 1)
+	child.Rows = rows // allowed: Extend builds the child before publication
+	return child
+}
+
+// Memoize fills the lazy memo map. A map fill through a field is the
+// designed cache pattern, not a field write: no diagnostic.
+func (s *Snapshot) Memoize(k string, v float64) {
+	s.memo[k] = v
+}
+
+// Reset is NOT on the allowlist: in-package mutation is still mutation.
+func (s *Snapshot) Reset() {
+	s.Gen = 0 // want `write to engine\.Snapshot field Gen outside the constructor/Extend path`
+}

@@ -1,0 +1,19 @@
+// Package persist is a fixture stand-in for the real disk layer: the lockio
+// fixture needs a receiver type living at an internal/persist import path so
+// the analyzer classifies its non-pure methods as IO.
+package persist
+
+// DatasetStore mimics the real store: AppendWAL hits the disk, WALBytes only
+// reads a resident counter.
+type DatasetStore struct {
+	walBytes int64
+}
+
+func (s *DatasetStore) AppendWAL(gen int64, records [][]byte) error {
+	s.walBytes += int64(len(records))
+	return nil
+}
+
+func (s *DatasetStore) WALBytes() int64 {
+	return s.walBytes
+}

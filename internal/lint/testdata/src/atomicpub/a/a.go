@@ -1,0 +1,34 @@
+// Fixture for the atomicpub analyzer: fields accessed via sync/atomic must
+// never be accessed plainly.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	name string
+}
+
+// Inc and Load bless the hits field as atomic.
+func Inc(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func Load(c *counter) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// BadRead reads the atomic field without the atomic op.
+func BadRead(c *counter) int64 {
+	return c.hits // want `plain access to field hits`
+}
+
+// BadWrite writes it plainly — a torn write under concurrent AddInt64.
+func BadWrite(c *counter) {
+	c.hits = 0 // want `plain access to field hits`
+}
+
+// GoodOtherField: name is never accessed atomically, plain access is fine.
+func GoodOtherField(c *counter) string {
+	return c.name
+}

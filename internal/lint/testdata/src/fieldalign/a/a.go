@@ -1,0 +1,19 @@
+// Fixture for the fieldalign advisory: padding-wasting field orders.
+package a
+
+// padded is bool/int64/bool: 1+7pad+8+1+7pad = 24 bytes where 16 suffice.
+type padded struct { // want `struct padded is 24 bytes; reordering fields by decreasing alignment would make it 16`
+	a bool
+	b int64
+	c bool
+}
+
+// tight is already optimally ordered: no diagnostic.
+type tight struct {
+	b int64
+	a bool
+	c bool
+}
+
+var _ = padded{}
+var _ = tight{}

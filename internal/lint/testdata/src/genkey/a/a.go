@@ -1,0 +1,59 @@
+// Fixture for the genkey analyzer: keys reaching cache/singleflight calls
+// must derive from requestKey (or from a trusted `key string` parameter).
+package a
+
+import "fmt"
+
+type lruCache struct{}
+
+func (c *lruCache) Get(key string) (any, bool) { return nil, false }
+func (c *lruCache) Add(key string, v any)      {}
+
+type flightGroup struct{}
+
+func (g *flightGroup) Do(key string, fn func() (any, error)) (any, error) {
+	return fn()
+}
+
+type Dataset struct{ name string }
+
+type Service struct {
+	cache *lruCache
+	sf    *flightGroup
+}
+
+// requestKey is the one helper that embeds the generation; taint flows from
+// its result.
+func requestKey(d *Dataset, gen int64) string {
+	return fmt.Sprintf("%s@%d|", d.name, gen)
+}
+
+// do mirrors the real Service.do: its key parameter is trusted (the
+// obligation moves to do's callers, which the analyzer checks in turn).
+func (s *Service) do(d *Dataset, key string, fn func() (any, error)) (any, error) {
+	if v, ok := s.cache.Get(key); ok { // trusted parameter: no diagnostic
+		return v, nil
+	}
+	return s.sf.Do(key, fn) // trusted parameter: no diagnostic
+}
+
+// Good builds every key from requestKey: concatenation, Sprintf, and
+// closure capture all preserve the derivation.
+func Good(s *Service, d *Dataset, gen int64) {
+	key := requestKey(d, gen) + "analyze|full"
+	s.cache.Get(key)
+	s.cache.Add(key, 1)
+	s.sf.Do(key, func() (any, error) {
+		s.cache.Add(key, 2) // captured tainted local: no diagnostic
+		return nil, nil
+	})
+	s.do(d, fmt.Sprintf("%sextra", requestKey(d, gen)), nil)
+}
+
+// Bad builds generation-free keys three different ways.
+func Bad(s *Service, d *Dataset) {
+	s.cache.Get("analyze|full") // want `key passed to Get is not derived from requestKey`
+	k := d.name + "|analyze"
+	s.sf.Do(k, nil)        // want `key passed to Do is not derived from requestKey`
+	s.do(d, "static", nil) // want `key passed to do is not derived from requestKey`
+}

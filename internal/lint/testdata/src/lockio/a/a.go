@@ -1,0 +1,70 @@
+// Fixture for the lockio analyzer: file/network IO while a mutex is held.
+package a
+
+import (
+	"os"
+	"sync"
+
+	"ajdloss/internal/persist"
+)
+
+type registry struct {
+	mu    sync.Mutex
+	n     int
+	store *persist.DatasetStore
+}
+
+// Bad does file IO between Lock and Unlock.
+func Bad(r *registry, path string) {
+	r.mu.Lock()
+	os.WriteFile(path, nil, 0o644) // want `os\.WriteFile call while holding r\.mu`
+	r.mu.Unlock()
+}
+
+// BadDefer holds via defer-unlock for the whole body, so the store call is
+// under the lock.
+func BadDefer(r *registry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.AppendWAL(1, nil) // want `persist\.DatasetStore\.AppendWAL call while holding r\.mu`
+}
+
+// Good captures under the lock and does the IO after release; the pure
+// store accessor is fine under the lock.
+func Good(r *registry, path string) error {
+	r.mu.Lock()
+	r.n++
+	walBytes := r.store.WALBytes() // pure accessor: no diagnostic
+	r.mu.Unlock()
+	_ = walBytes
+	return os.WriteFile(path, nil, 0o644) // lock released: no diagnostic
+}
+
+// GoodGoroutine spawns the IO onto its own stack: the goroutine does not
+// inherit the caller's critical section.
+func GoodGoroutine(r *registry, path string) {
+	r.mu.Lock()
+	r.n++
+	go func() {
+		_, _ = os.ReadFile(path) // own stack: no diagnostic
+	}()
+	r.mu.Unlock()
+}
+
+// GoodBranch unlocks before the IO on the branch that does IO.
+func GoodBranch(r *registry, path string) error {
+	r.mu.Lock()
+	if r.n == 0 {
+		r.mu.Unlock()
+		return os.WriteFile(path, nil, 0o644) // unlocked on this path: no diagnostic
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// BadRW holds a read lock, which blocks writers just the same.
+func BadRW(mu *sync.RWMutex, path string) {
+	mu.RLock()
+	_, _ = os.ReadFile(path) // want `os\.ReadFile call while holding mu`
+	mu.RUnlock()
+}

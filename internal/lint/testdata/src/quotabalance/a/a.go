@@ -1,0 +1,108 @@
+// Fixture for the quotabalance analyzer: every error-return path after
+// reserveRows must release (releaseRows, retire, a releasing closure, or a
+// deferred release).
+package a
+
+import "errors"
+
+type namespace struct{ used int64 }
+
+func (ns *namespace) reserveRows(k int64) error {
+	ns.used += k
+	return nil
+}
+
+func (ns *namespace) releaseRows(k int64) {
+	ns.used -= k
+}
+
+type Dataset struct{ ns *namespace }
+
+func (d *Dataset) retire() {
+	d.ns.used = 0
+}
+
+var errBoom = errors.New("boom")
+
+// Good releases on its error path; the reserve-guard return and the
+// nil-error success return need nothing.
+func Good(ns *namespace, n int64) error {
+	if err := ns.reserveRows(n); err != nil {
+		return err // reservation failed: nothing claimed, no diagnostic
+	}
+	if n > 10 {
+		ns.releaseRows(n)
+		return errBoom // released just above: no diagnostic
+	}
+	return nil // success: the reservation became real rows
+}
+
+// GoodClosure uses the fail-closure idiom from Registry.RegisterIn.
+func GoodClosure(ns *namespace, n int64) error {
+	fail := func(err error) error {
+		ns.releaseRows(n)
+		return err
+	}
+	if err := ns.reserveRows(n); err != nil {
+		return err
+	}
+	if n > 10 {
+		return fail(errBoom) // releasing closure: no diagnostic
+	}
+	return nil
+}
+
+// GoodDeferred releases through a defer guarded by a commit flag.
+func GoodDeferred(ns *namespace, n int64) error {
+	if err := ns.reserveRows(n); err != nil {
+		return err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			ns.releaseRows(n)
+		}
+	}()
+	if n > 10 {
+		return errBoom // deferred release covers this path: no diagnostic
+	}
+	committed = true
+	return nil
+}
+
+// GoodRetire tears the whole dataset down, which returns everything.
+func GoodRetire(d *Dataset, n int64) error {
+	if err := d.ns.reserveRows(n); err != nil {
+		return err
+	}
+	if n < 0 {
+		d.retire()
+		return errBoom // retire releases the reservation: no diagnostic
+	}
+	return nil
+}
+
+// Bad leaks: the n > 10 failure path returns with the rows still reserved.
+func Bad(ns *namespace, n int64) error {
+	if err := ns.reserveRows(n); err != nil {
+		return err
+	}
+	if n > 10 {
+		return errBoom // want `return path after reserveRows releases nothing`
+	}
+	return nil
+}
+
+// BadNested leaks from a block nested inside a loop: the walk descends
+// through for/if bodies, and no predecessor on this path releases.
+func BadNested(ns *namespace, n int64) error {
+	if err := ns.reserveRows(n); err != nil {
+		return err
+	}
+	for i := int64(0); i < n; i++ {
+		if i == 7 {
+			return errBoom // want `return path after reserveRows releases nothing`
+		}
+	}
+	return nil
+}

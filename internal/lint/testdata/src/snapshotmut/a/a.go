@@ -1,0 +1,36 @@
+// Fixture for the snapshotmut analyzer: cross-package writes to
+// engine.Snapshot fields, plus the shapes that must NOT be flagged.
+package a
+
+import "ajdloss/internal/engine"
+
+// Mutate writes published-snapshot fields from outside the engine: both the
+// assignment and the increment are violations.
+func Mutate(s *engine.Snapshot) {
+	s.Gen = 42 // want `write to engine\.Snapshot field Gen outside the constructor/Extend path`
+	s.Gen++    // want `write to engine\.Snapshot field Gen outside the constructor/Extend path`
+}
+
+// Read-only access is the whole point of a frozen snapshot: no diagnostic.
+func Read(s *engine.Snapshot) int64 {
+	return s.Gen
+}
+
+// Snapshot here is a different type that merely shares the name; writes to
+// it are nobody's business but this package's.
+type Snapshot struct {
+	Gen int64
+}
+
+func Local(s *Snapshot) {
+	s.Gen = 7 // not engine.Snapshot: no diagnostic
+}
+
+// NotSnapshot guards against receiver-type confusion.
+type NotSnapshot struct {
+	Gen int64
+}
+
+func Other(n *NotSnapshot) {
+	n.Gen = 1 // not engine.Snapshot: no diagnostic
+}

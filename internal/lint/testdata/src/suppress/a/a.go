@@ -1,0 +1,40 @@
+// Fixture for the suppression machinery; assertions live in
+// suppress_test.go (programmatic, not want-comments, because several of the
+// expected diagnostics attach to the suppression comments themselves).
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+}
+
+func inc(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// suppressed: well-formed ignore with a reason — the atomicpub diagnostic
+// on the next line is filtered out.
+func suppressed(c *counter) int64 {
+	//ajdlint:ignore atomicpub fixture exercises a well-formed suppression; the read is intentionally racy
+	return c.hits
+}
+
+// missingReason: the ignore has no reason, which is itself a diagnostic,
+// and the underlying atomicpub diagnostic survives.
+func missingReason(c *counter) {
+	//ajdlint:ignore atomicpub
+	c.hits = 0
+}
+
+// unknownAnalyzer: names an analyzer that does not exist.
+func unknownAnalyzer(c *counter) int64 {
+	//ajdlint:ignore frobnicator because reasons
+	return atomic.LoadInt64(&c.hits)
+}
+
+// unused: a well-formed suppression with nothing to suppress.
+func unused(c *counter) int64 {
+	//ajdlint:ignore atomicpub nothing here actually trips the analyzer
+	return atomic.LoadInt64(&c.hits)
+}

@@ -302,6 +302,7 @@ func (d *Dataset) Append(records [][]string, header bool) (added, dups, rows int
 	// costs bytes (reclaimed by compaction), never correctness. On a WAL
 	// write failure nothing has been applied: the append fails cleanly.
 	if d.store != nil {
+		//ajdlint:ignore lockio WAL writes must be ordered under appendMu: replay correctness requires the log order to match the apply order, and the lock is per-dataset so only this dataset's appenders wait.
 		if err := d.store.AppendWAL(cur.Generation()+1, records); err != nil {
 			if d.ns != nil {
 				d.ns.releaseRows(int64(len(tuples)))
